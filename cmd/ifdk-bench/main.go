@@ -1,0 +1,116 @@
+// Command ifdk-bench regenerates every table and figure of the paper's
+// evaluation section from the simulated substrates (see DESIGN.md for the
+// per-experiment index):
+//
+//	ifdk-bench table3          kernel characteristics (Table 3)
+//	ifdk-bench table4          back-projection kernel GUPS (Table 4)
+//	ifdk-bench table5          Tcompute breakdown and δ (Table 5)
+//	ifdk-bench fig5a..fig5d    strong/weak scaling, 4K and 8K (Fig. 5)
+//	ifdk-bench fig6            end-to-end GUPS (Fig. 6)
+//	ifdk-bench fig7            volume-reduction demo (Fig. 7)
+//	ifdk-bench ablate          CPU ablation of the Alg. 4 design choices
+//	ifdk-bench all             everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ifdk/internal/bench"
+	"ifdk/internal/gpusim"
+	"ifdk/internal/perfmodel"
+)
+
+func main() {
+	samples := flag.Int("samples", 256, "sampled warps per kernel estimate (higher = tighter)")
+	fig7Scale := flag.Int("fig7-scale", 32, "voxels per side for the real fig7 run (multiple of 8)")
+	ablNx := flag.Int("ablate-nx", 24, "volume side for the CPU ablation")
+	ablNp := flag.Int("ablate-np", 16, "projections for the CPU ablation")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ifdk-bench [flags] {table3|table4|table5|fig5a|fig5b|fig5c|fig5d|fig6|fig7|ablate|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if err := run(cmd, *samples, *fig7Scale, *ablNx, *ablNp); err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, samples, fig7Scale, ablNx, ablNp int) error {
+	mb := perfmodel.ABCI()
+	est := gpusim.EstimateConfig{SampleWarps: samples}
+	dev := gpusim.TeslaV100()
+	all := cmd == "all"
+	ran := false
+
+	if all || cmd == "table3" {
+		fmt.Println(bench.RenderTable3())
+		ran = true
+	}
+	if all || cmd == "table4" {
+		rows := bench.Table4(dev, est)
+		fmt.Println(bench.RenderTable4(rows))
+		s := bench.Speedup(rows)
+		fmt.Printf("L1-Tran vs RTK-32 speedup: max %.2fx, mean %.2fx, mean(α≤8) %.2fx over %d rows\n",
+			s.Max, s.Mean, s.MeanLowAlpha, s.Rows)
+		fmt.Printf("(paper, Table 4/abstract: up to ≈1.6–1.8x in the low-α regime)\n\n")
+		ran = true
+	}
+	if all || cmd == "table5" {
+		points, err := bench.Table5(mb)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable5(points))
+		ran = true
+	}
+	figs := map[string]func() bench.Fig5Config{
+		"fig5a": bench.Fig5a, "fig5b": bench.Fig5b, "fig5c": bench.Fig5c, "fig5d": bench.Fig5d,
+	}
+	for name, cfgFn := range figs {
+		if all || cmd == name {
+			cfg := cfgFn()
+			points, err := bench.RunFig5(cfg, mb)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFig5(cfg, points))
+			ran = true
+		}
+	}
+	if all || cmd == "fig6" {
+		series, err := bench.Fig6(mb)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig6(series))
+		ran = true
+	}
+	if all || cmd == "fig7" {
+		res, err := bench.Fig7(fig7Scale, mb)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig7(res))
+		ran = true
+	}
+	if all || cmd == "ablate" {
+		rows, err := bench.Ablation(ablNx, ablNp, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderAblation(rows))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Industrial inspection example: the paper motivates high-resolution CT
+// with non-destructive testing and defect inspection (Secs. 1 and 6.1).
+// This example scans a dense machined part containing three internal void
+// defects and a slag inclusion, reconstructs it, and locates the defects
+// automatically by thresholding the interior density.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ifdk/internal/ct/fdk"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/projector"
+)
+
+// defect is one flagged voxel.
+type defect struct {
+	i, j, k int
+	value   float32
+}
+
+func main() {
+	g := geometry.Default(160, 160, 180, 80, 80, 80)
+	part := phantom.IndustrialBlock(g.FOVRadius() * 0.9)
+
+	fmt.Println("scanning the part (180 views)...")
+	proj := projector.AnalyticAll(part, g, 0)
+
+	fmt.Println("reconstructing 80^3 volume...")
+	vol, err := fdk.Reconstruct(g, proj, fdk.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Defect detection: walk the part interior (nominal body density 2.0)
+	// and flag voxels far from nominal. Voids read low, inclusions high.
+	var voids, inclusions []defect
+	const nominal = 2.0
+	for k := 8; k < g.Nz-8; k++ {
+		for j := 8; j < g.Ny-8; j++ {
+			for i := 8; i < g.Nx-8; i++ {
+				x, y, z := g.VoxelCenter(float64(i), float64(j), float64(k))
+				if !insideBody(part, x, y, z) {
+					continue
+				}
+				got := vol.At(i, j, k)
+				switch {
+				case got < nominal-1.0:
+					voids = append(voids, defect{i, j, k, got})
+				case got > nominal+1.0:
+					inclusions = append(inclusions, defect{i, j, k, got})
+				}
+			}
+		}
+	}
+	fmt.Printf("flagged %d void voxels and %d inclusion voxels\n", len(voids), len(inclusions))
+	if len(voids) == 0 {
+		fmt.Println("WARNING: no voids found — the part would pass inspection incorrectly!")
+	} else {
+		c := centroid(voids)
+		fmt.Printf("void centroid near voxel (%d, %d, %d)\n", c[0], c[1], c[2])
+	}
+	if len(inclusions) > 0 {
+		c := centroid(inclusions)
+		fmt.Printf("inclusion centroid near voxel (%d, %d, %d)\n", c[0], c[1], c[2])
+	}
+
+	// Render the slice through the first void for the inspection report.
+	f, err := os.Create("industrial_slice.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	k := g.Nz/2 + g.Nz/8 // passes near the first void (z ≈ +0.2·r)
+	if err := vol.SliceZ(k).WritePNG(f, -0.2, 2.4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote industrial_slice.png")
+}
+
+// insideBody reports whether the point is inside the part's outer shell
+// (first ellipsoid, minus the bore) with a safety margin, so detection only
+// judges interior voxels whose nominal density is the body's.
+func insideBody(p phantom.Phantom, x, y, z float64) bool {
+	body := p.Ellipsoids[0]
+	dx := x / (body.A * 0.85)
+	dy := y / (body.B * 0.85)
+	dz := z / (body.C * 0.85)
+	if dx*dx+dy*dy+dz*dz > 1 {
+		return false
+	}
+	// Exclude the intentional centre bore (second ellipsoid, negative).
+	bore := p.Ellipsoids[1]
+	bx := x / (bore.A * 1.3)
+	by := y / (bore.B * 1.3)
+	return bx*bx+by*by > 1
+}
+
+func centroid(ds []defect) [3]int {
+	var si, sj, sk int
+	for _, d := range ds {
+		si += d.i
+		sj += d.j
+		sk += d.k
+	}
+	n := len(ds)
+	return [3]int{si / n, sj / n, sk / n}
+}

@@ -1,0 +1,59 @@
+// Quickstart: reconstruct a 3-D volume from synthetic cone-beam projections
+// in a few lines — generate projections of a uniform sphere, run the FDK
+// pipeline (filtering + the paper's proposed back-projection), and inspect
+// the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ifdk/internal/ct/fdk"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/projector"
+)
+
+func main() {
+	// A 64³ reconstruction from 96 projections of 128×128 pixels.
+	g := geometry.Default(128, 128, 96, 64, 64, 64)
+
+	// The object: a homogeneous sphere of density 1.0 filling half the
+	// field of view.
+	ph := phantom.UniformSphere(g.FOVRadius()*0.55, 1.0)
+
+	// Forward-project (the analytic projector computes exact line
+	// integrals — this is the stand-in for a real scanner).
+	proj := projector.AnalyticAll(ph, g, 0)
+
+	// Reconstruct with the default configuration: Ram-Lak ramp filter and
+	// the proposed (Alg. 4) back-projection.
+	vol, err := fdk.Reconstruct(g, proj, fdk.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The centre voxel should recover the sphere density (≈1.0) and the
+	// corner should be empty (≈0).
+	fmt.Printf("centre voxel: %.3f (expected ≈ 1.0)\n", vol.At(32, 32, 32))
+	fmt.Printf("corner voxel: %.3f (expected ≈ 0.0)\n", vol.At(2, 2, 32))
+
+	// A density profile across the centre line shows the sphere edge.
+	fmt.Print("profile y=32 z=32: ")
+	for i := 0; i < g.Nx; i += 8 {
+		fmt.Printf("%5.2f ", vol.At(i, 32, 32))
+	}
+	fmt.Println()
+
+	// Save the centre slice for visual inspection.
+	f, err := os.Create("quickstart_slice.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := vol.SliceZ(32).WritePNG(f, 0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart_slice.png")
+}

@@ -1,0 +1,80 @@
+// Scaling simulation example: reproduce the paper's headline experiments at
+// full cluster scale — the 4K problem (2048²×4096 → 4096³) on up to 2,048
+// simulated V100 GPUs within 30 seconds and the 8K problem (→ 8192³) within
+// 2 minutes, including I/O — and translate the result into the cloud-cost
+// estimate of Sec. 6.2.1 and the DGX-2 projection of Sec. 6.2.2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ifdk/internal/bench"
+	"ifdk/internal/perfmodel"
+	"ifdk/internal/simcluster"
+)
+
+func main() {
+	mb := perfmodel.ABCI()
+
+	fmt.Println("== 4K strong scaling (R=32), simulated ABCI ==")
+	cfg := bench.Fig5a()
+	points, err := bench.RunFig5(cfg, mb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.RenderFig5(cfg, points))
+	last := points[len(points)-1].Res
+	fmt.Printf("\n4K on 2048 GPUs: %.1fs end-to-end (paper: <30s) at %.0f GUPS\n\n",
+		last.SimTotal, last.GUPS)
+
+	fmt.Println("== 8K on 2048 GPUs (R=256) ==")
+	res8k, err := simcluster.Simulate(simcluster.Config{
+		Problem: bench.EightK(), R: 256, C: 8, MB: mb,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8K end-to-end: %.1fs (paper: <2 min), store alone %.1fs of a 2 TiB volume\n\n",
+		res8k.SimTotal, res8k.SimStore)
+
+	// Sec. 6.2.1: AWS cost estimate. 256 p3.8xlarge instances (4 V100
+	// each) at $12.24/h, billed by the second, with a slowdown factor for
+	// the 10 Gbps network.
+	const (
+		instances   = 256
+		pricePerHr  = 12.24
+		netSlowdown = 3.0 // AWS 10 Gbps vs ABCI InfiniBand EDR
+	)
+	res1k, err := simcluster.Simulate(simcluster.Config{
+		Problem: bench.FourK(), R: 32, C: 32, MB: mb, // 1024 GPUs = 256 nodes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	awsSeconds := res1k.SimTotal * netSlowdown
+	cost := float64(instances) * pricePerHr / 3600 * awsSeconds
+	fmt.Println("== AWS feasibility (Sec. 6.2.1) ==")
+	fmt.Printf("4K on %d p3.8xlarge (1024 V100): ≈%.0fs including a %gx network slowdown\n",
+		instances, awsSeconds, netSlowdown)
+	fmt.Printf("on-demand cost ≈ $%.2f per volume (paper: \"less than $100\")\n\n", cost)
+
+	// Sec. 6.2.2: a single DGX-2 (16 V100, NVSwitch, local SSD). Model it
+	// as a 16-GPU grid with much faster interconnect and storage.
+	dgx := mb
+	dgx.BWAllGather = 50e9 // NVSwitch: 300 GB/s bisection shared
+	dgx.THReduce = 40e9
+	dgx.BWLoad = 8e9 // local NVMe array
+	dgx.BWStore = 8e9
+	dgx.BWPCIe = 60e9 // NVLink host links
+	dgx.PCIeContention = 1
+	resDGX, err := simcluster.Simulate(simcluster.Config{
+		Problem: bench.FourK(), R: 16, C: 1, MB: dgx,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== DGX-2 projection (Sec. 6.2.2) ==")
+	fmt.Printf("4K on one DGX-2 (16 V100): ≈%.0fs (paper projects \"within a minute\" for\n", resDGX.SimTotal)
+	fmt.Println("compute; the local store of 256 GiB dominates on a single box)")
+}

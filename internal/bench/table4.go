@@ -1,0 +1,163 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sec. 5) from the simulated substrates: Table 3 (kernel
+// characteristics), Table 4 (back-projection kernel GUPS), Table 5
+// (Tcompute breakdown and pipeline gain δ), Fig. 5a–d (strong/weak
+// scaling), Fig. 6 (end-to-end GUPS) and Fig. 7 (volume reduction demo).
+// The cmd/ifdk-bench binary and the root-level Go benchmarks are thin
+// wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/gpusim"
+)
+
+// Table4Problems returns the 15 image-reconstruction problems of Table 4:
+// three input sizes × five output sizes.
+func Table4Problems() []geometry.Problem {
+	const k = 1024
+	inputs := [][3]int{
+		{512, 512, k},
+		{k, k, k},
+		{2 * k, 2 * k, k},
+	}
+	outputs := [][3]int{
+		{128, 128, 128},
+		{256, 256, 256},
+		{512, 512, 512},
+		{k, k, k},
+		{k, k, 2 * k},
+	}
+	var out []geometry.Problem
+	for _, in := range inputs {
+		for _, o := range outputs {
+			out = append(out, geometry.Problem{
+				Nu: in[0], Nv: in[1], Np: in[2],
+				Nx: o[0], Ny: o[1], Nz: o[2],
+			})
+		}
+	}
+	return out
+}
+
+// Table4Row is one row of Table 4: a problem, its α, and the modelled GUPS
+// of each kernel (NaN-free: unsupported cells are reported via Supported).
+type Table4Row struct {
+	Problem geometry.Problem
+	Alpha   float64
+	Reports []gpusim.Report // indexed like gpusim.Kernels
+}
+
+// Table4 evaluates all kernels on all problems with the given sampling
+// budget (zero values use the estimator defaults).
+func Table4(dev gpusim.Device, cfg gpusim.EstimateConfig) []Table4Row {
+	problems := Table4Problems()
+	rows := make([]Table4Row, 0, len(problems))
+	for _, pr := range problems {
+		row := Table4Row{Problem: pr, Alpha: pr.Alpha()}
+		for _, k := range gpusim.Kernels {
+			row.Reports = append(row.Reports, gpusim.Estimate(dev, pr, k, cfg))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable4 formats the rows like the paper's Table 4 (N/A where the
+// kernel cannot hold the output).
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: back-projection kernel performance (modelled %s), GUPS\n", "Tesla V100")
+	fmt.Fprintf(&b, "%-28s %8s", "FDK problem (pixel->voxel)", "alpha")
+	for _, k := range gpusim.Kernels {
+		fmt.Fprintf(&b, " %9s", k)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s %8s", row.Problem, formatAlpha(row.Alpha))
+		for _, rep := range row.Reports {
+			if !rep.Supported {
+				fmt.Fprintf(&b, " %9s", "N/A")
+			} else {
+				fmt.Fprintf(&b, " %9.1f", rep.GUPS)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatAlpha(a float64) string {
+	if a >= 1 {
+		return fmt.Sprintf("%.0f", a)
+	}
+	return fmt.Sprintf("1/%.0f", 1/a)
+}
+
+// Table4Speedup summarizes E3, the abstract's headline kernel claim: the
+// proposed L1-Tran kernel versus the RTK-32 baseline over the rows where
+// both run. The claim lives in the practical low-α regime ("in most
+// applications the value of α is typically very small", Sec. 5.2): at large
+// α the transpose overhead dominates and RTK-32 wins, in the paper as here.
+type Table4Speedup struct {
+	Min, Max, Mean float64 // over all comparable rows
+	MeanLowAlpha   float64 // over rows with α ≤ 8 (the practical regime)
+	Rows, LowRows  int
+}
+
+// Speedup computes the L1-Tran / RTK-32 GUPS ratio across rows.
+func Speedup(rows []Table4Row) Table4Speedup {
+	var s Table4Speedup
+	var sum, lowSum float64
+	s.Min = 1e300
+	for _, row := range rows {
+		rtk := row.Reports[0]
+		l1 := row.Reports[len(row.Reports)-1]
+		if !rtk.Supported || !l1.Supported {
+			continue
+		}
+		ratio := l1.GUPS / rtk.GUPS
+		sum += ratio
+		if ratio < s.Min {
+			s.Min = ratio
+		}
+		if ratio > s.Max {
+			s.Max = ratio
+		}
+		s.Rows++
+		if row.Alpha <= 8 {
+			lowSum += ratio
+			s.LowRows++
+		}
+	}
+	if s.Rows > 0 {
+		s.Mean = sum / float64(s.Rows)
+	}
+	if s.LowRows > 0 {
+		s.MeanLowAlpha = lowSum / float64(s.LowRows)
+	}
+	return s
+}
+
+// RenderTable3 reproduces the characteristics matrix of Table 3.
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: back-projection kernel characteristics\n")
+	fmt.Fprintf(&b, "%-9s %-13s %-9s %-20s %-16s\n",
+		"Kernel", "Texture cache", "L1 cache", "Transpose projection", "Transpose volume")
+	mark := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, k := range gpusim.Kernels {
+		ch := k.Characteristics()
+		fmt.Fprintf(&b, "%-9s %-13s %-9s %-20s %-16s\n",
+			k, mark(ch.TextureCache), mark(ch.L1Cache), mark(ch.TransposeProj), mark(ch.TransposeVol))
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ifdk/internal/ct/filter"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/volume"
+)
+
+// Config describes one distributed reconstruction.
+type Config struct {
+	R, C int // grid shape; Nranks = R·C, one rank per (simulated) GPU
+
+	Geometry geometry.Params
+	Window   filter.Window
+
+	Workers    int // worker goroutines per rank inside stages (default 1)
+	Batch      int // projections per back-projection pass (default 32)
+	QueueDepth int // circular-buffer capacity between pipeline threads (default 8)
+
+	InputPrefix  string // PFS prefix holding the Np input projections
+	OutputPrefix string // PFS prefix for the output slices ("" = skip store)
+
+	AssembleVolume bool // gather the full volume at rank 0 into Result.Volume
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.R < 1 || c.C < 1 {
+		return fmt.Errorf("core: grid %dx%d must be at least 1x1", c.R, c.C)
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	n := c.R * c.C
+	if c.Geometry.Np%n != 0 {
+		return fmt.Errorf("core: Np = %d must be divisible by R·C = %d", c.Geometry.Np, n)
+	}
+	if c.Geometry.Nz%(2*c.R) != 0 {
+		return fmt.Errorf("core: Nz = %d must be divisible by 2R = %d (mirrored slab pairs)",
+			c.Geometry.Nz, 2*c.R)
+	}
+	if c.InputPrefix == "" {
+		return fmt.Errorf("core: InputPrefix is required")
+	}
+	return nil
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 8
+	}
+	return c.QueueDepth
+}
+
+// StageTimes records one rank's busy time per pipeline stage plus derived
+// wall times. Load/Filter/AllGather/Backproject overlap inside Compute
+// (Eq. 17); Reduce and Store follow it (Eq. 19).
+type StageTimes struct {
+	Load        time.Duration // reading projections from the PFS
+	Filter      time.Duration // cosine + ramp filtering
+	AllGather   time.Duration // column-group collective
+	Backproject time.Duration // kernel time
+	Compute     time.Duration // wall time of the overlapped phase
+	Reduce      time.Duration // row-group volume reduction
+	Store       time.Duration // writing output slices
+	Total       time.Duration // end-to-end wall time
+}
+
+// Delta is the pipeline-overlap gain δ = (T_flt + T_AllGather + T_bp) /
+// T_compute (Table 5); δ > 1 means the three threads genuinely overlapped.
+func (s StageTimes) Delta() float64 {
+	if s.Compute <= 0 {
+		return 0
+	}
+	return float64(s.Filter+s.AllGather+s.Backproject) / float64(s.Compute)
+}
+
+// maxTimes folds per-rank stage times element-wise.
+func maxTimes(a, b StageTimes) StageTimes {
+	m := func(x, y time.Duration) time.Duration {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return StageTimes{
+		Load:        m(a.Load, b.Load),
+		Filter:      m(a.Filter, b.Filter),
+		AllGather:   m(a.AllGather, b.AllGather),
+		Backproject: m(a.Backproject, b.Backproject),
+		Compute:     m(a.Compute, b.Compute),
+		Reduce:      m(a.Reduce, b.Reduce),
+		Store:       m(a.Store, b.Store),
+		Total:       m(a.Total, b.Total),
+	}
+}
+
+// Result is the outcome of a distributed reconstruction.
+type Result struct {
+	Volume    *volume.Volume // full volume at rank 0 (nil unless AssembleVolume)
+	PerRank   []StageTimes
+	Max       StageTimes // element-wise max over ranks
+	BytesSent int64      // total MPI payload bytes
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ifdk/internal/ct/fdk"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/projector"
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/volume"
+)
+
+// testSetup stages a small analytic dataset and returns its geometry,
+// the store and the serial reference reconstruction.
+func testSetup(t *testing.T) (geometry.Params, *pfs.PFS, *volume.Volume) {
+	t.Helper()
+	g := geometry.Default(48, 48, 16, 16, 16, 16)
+	ph := phantom.SheppLogan3D(g.FOVRadius() * 0.9)
+	proj := projector.AnalyticAll(ph, g, 0)
+	store := pfs.New(pfs.Config{})
+	if err := StageProjections(store, "in", proj); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fdk.Reconstruct(g, proj, fdk.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, store, ref
+}
+
+func relVolRMSE(t *testing.T, a, b *volume.Volume) float64 {
+	t.Helper()
+	r, err := volume.RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Summarize()
+	scale := math.Max(math.Abs(float64(s.Min)), math.Abs(float64(s.Max)))
+	if scale == 0 {
+		return r
+	}
+	return r / scale
+}
+
+// E10/E11: the distributed framework must reproduce the serial pipeline for
+// every grid shape (within float reassociation tolerance).
+func TestDistributedMatchesSerial(t *testing.T) {
+	g, store, ref := testSetup(t)
+	for _, grid := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 2}, {2, 4}} {
+		cfg := Config{
+			R: grid[0], C: grid[1],
+			Geometry:       g,
+			InputPrefix:    "in",
+			AssembleVolume: true,
+		}
+		res, err := Run(cfg, store)
+		if err != nil {
+			t.Fatalf("grid %v: %v", grid, err)
+		}
+		if res.Volume == nil {
+			t.Fatalf("grid %v: no assembled volume", grid)
+		}
+		if r := relVolRMSE(t, ref, res.Volume); r > 1e-5 {
+			t.Errorf("grid %v: relative RMSE vs serial = %g, want < 1e-5", grid, r)
+		}
+	}
+}
+
+func TestOutputSlicesStored(t *testing.T) {
+	g, store, _ := testSetup(t)
+	cfg := Config{
+		R: 2, C: 2,
+		Geometry:       g,
+		InputPrefix:    "in",
+		OutputPrefix:   "out",
+		AssembleVolume: true,
+	}
+	res, err := Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices := store.List("out/")
+	if len(slices) != g.Nz {
+		t.Fatalf("stored %d slices, want %d", len(slices), g.Nz)
+	}
+	back, err := LoadVolume(store, "out", g.Nx, g.Ny, g.Nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := relVolRMSE(t, res.Volume, back); r > 1e-7 {
+		t.Errorf("stored volume differs from assembled: %g", r)
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	g, store, _ := testSetup(t)
+	cfg := Config{R: 2, C: 2, Geometry: g, InputPrefix: "in", OutputPrefix: "out"}
+	res, err := Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRank) != 4 {
+		t.Fatalf("per-rank times: %d", len(res.PerRank))
+	}
+	m := res.Max
+	if m.Filter <= 0 || m.Backproject <= 0 || m.Compute <= 0 || m.Total <= 0 {
+		t.Errorf("stage times not populated: %+v", m)
+	}
+	if m.Total < m.Compute {
+		t.Error("total < compute")
+	}
+	if m.Store <= 0 {
+		t.Error("store time missing despite OutputPrefix")
+	}
+	if d := m.Delta(); d <= 0 {
+		t.Errorf("delta = %g", d)
+	}
+	if res.BytesSent <= 0 {
+		t.Error("BytesSent not recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := geometry.Default(32, 32, 8, 8, 8, 8)
+	good := Config{R: 2, C: 2, Geometry: g, InputPrefix: "in"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{R: 0, C: 1, Geometry: g, InputPrefix: "in"},
+		{R: 2, C: 3, Geometry: g, InputPrefix: "in"},                                   // Np=8 not divisible by 6
+		{R: 8, C: 1, Geometry: g, InputPrefix: "in"},                                   // Nz=8 not divisible by 16
+		{R: 1, C: 1, Geometry: g},                                                      // missing input
+		{R: 1, C: 1, Geometry: geometry.Params{}, InputPrefix: "in"},                   // bad geometry
+		{R: 1, C: 3, Geometry: geometry.Default(32, 32, 8, 8, 8, 8), InputPrefix: "x"}, // Np%3
+	}
+	for n, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", n, cfg)
+		}
+	}
+}
+
+func TestMissingInputFails(t *testing.T) {
+	g := geometry.Default(32, 32, 8, 8, 8, 8)
+	store := pfs.New(pfs.Config{})
+	cfg := Config{R: 2, C: 2, Geometry: g, InputPrefix: "absent"}
+	if _, err := Run(cfg, store); err == nil {
+		t.Error("missing input should fail")
+	} else if !strings.Contains(err.Error(), "no object") {
+		t.Logf("error (ok): %v", err)
+	}
+}
+
+func TestDecompositionHelpers(t *testing.T) {
+	// Fig. 3a: R=8, C=4, 32 ranks; rank 9 is row 1, column 1.
+	if RankRow(9, 8) != 1 || RankCol(9, 8) != 1 {
+		t.Error("rank 9 should be (row 1, col 1)")
+	}
+	if RankID(1, 1, 8) != 9 {
+		t.Error("RankID inverse broken")
+	}
+	lo, hi := ColProjRange(1, 1024, 4)
+	if lo != 256 || hi != 512 {
+		t.Errorf("column 1 range [%d,%d)", lo, hi)
+	}
+	lo, hi = RankProjRange(2, 1, 1024, 8, 4)
+	if lo != 256+2*32 || hi != 256+3*32 {
+		t.Errorf("rank range [%d,%d)", lo, hi)
+	}
+	z0, z1 := RowSlab(3, 4096, 32)
+	if z0 != 3*64 || z1 != 4*64 {
+		t.Errorf("slab [%d,%d)", z0, z1)
+	}
+}
+
+// Projection coverage: every projection is loaded by exactly one rank, and
+// each column covers its share exactly.
+func TestProjectionPartition(t *testing.T) {
+	const R, C, Np = 4, 3, 120
+	seen := make([]int, Np)
+	for col := 0; col < C; col++ {
+		for row := 0; row < R; row++ {
+			lo, hi := RankProjRange(row, col, Np, R, C)
+			for s := lo; s < hi; s++ {
+				seen[s]++
+			}
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("projection %d loaded %d times", s, n)
+		}
+	}
+}
+
+// Slab coverage: row slab pairs tile [0, Nz) exactly once.
+func TestSlabPartition(t *testing.T) {
+	const R, Nz = 8, 64
+	seen := make([]int, Nz)
+	for row := 0; row < R; row++ {
+		z0, z1 := RowSlab(row, Nz, R)
+		for _, k := range []int{z0, z1 - 1} {
+			_ = k
+		}
+		for k := z0; k < z1; k++ {
+			seen[k]++
+			seen[Nz-1-k]++
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("plane %d covered %d times", k, n)
+		}
+	}
+}
+
+// Sec. 4.1.5: the paper uses R=32 for 4096³ and R=256 for 8192³ with 8 GB
+// sub-volumes on 16 GB GPUs.
+func TestChooseRMatchesPaper(t *testing.T) {
+	dev := int64(16) << 30
+	r4k, err := ChooseR(geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 4096, Ny: 4096, Nz: 4096}, dev, 0)
+	if err != nil || r4k != 32 {
+		t.Errorf("4K: R = %d (%v), want 32", r4k, err)
+	}
+	r8k, err := ChooseR(geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 8192, Ny: 8192, Nz: 8192}, dev, 0)
+	if err != nil || r8k != 256 {
+		t.Errorf("8K: R = %d (%v), want 256", r8k, err)
+	}
+	rSmall, err := ChooseR(geometry.Problem{Nu: 512, Nv: 512, Np: 512, Nx: 256, Ny: 256, Nz: 256}, dev, 0)
+	if err != nil || rSmall != 1 {
+		t.Errorf("small: R = %d (%v), want 1", rSmall, err)
+	}
+	// A tiny device cannot host the sub-volume plus a projection batch.
+	if _, err := ChooseR(geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 4096, Ny: 4096, Nz: 4096}, 1<<30, 8<<30); err == nil {
+		t.Error("impossible device accepted")
+	}
+}
+
+func TestStageProjectionsValidation(t *testing.T) {
+	store := pfs.New(pfs.Config{})
+	if err := StageProjections(store, "", nil); err == nil {
+		t.Error("empty prefix accepted")
+	}
+	if err := StageProjections(store, "p", []*volume.Image{nil}); err == nil {
+		t.Error("nil projection accepted")
+	}
+}

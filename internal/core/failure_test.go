@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/projector"
+	"ifdk/internal/hpc/pfs"
+)
+
+// Failure injection: when the PFS rejects writes mid-store, the whole run
+// must fail cleanly (no deadlock, error propagated) rather than silently
+// producing a partial volume.
+func TestStoreFailurePropagates(t *testing.T) {
+	g := geometry.Default(48, 48, 16, 16, 16, 16)
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	proj := projector.AnalyticAll(ph, g, 0)
+	store := pfs.New(pfs.Config{})
+	if err := StageProjections(store, "in", proj); err != nil {
+		t.Fatal(err)
+	}
+	// Allow the input staging reads; fail a write during the output store.
+	store.FailAfterWrites(4)
+	cfg := Config{R: 2, C: 2, Geometry: g, InputPrefix: "in", OutputPrefix: "out"}
+	_, err := Run(cfg, store)
+	if err == nil {
+		t.Fatal("injected store failure did not propagate")
+	}
+	if !strings.Contains(err.Error(), "injected write failure") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// A single corrupt projection object must abort the whole world without
+// hanging the other ranks in their collectives.
+func TestCorruptProjectionAborts(t *testing.T) {
+	g := geometry.Default(48, 48, 16, 16, 16, 16)
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	proj := projector.AnalyticAll(ph, g, 0)
+	store := pfs.New(pfs.Config{})
+	if err := StageProjections(store, "in", proj); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite one projection with garbage bytes.
+	if _, err := store.Write(pfs.ProjectionPath("in", 5), []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{R: 2, C: 2, Geometry: g, InputPrefix: "in"}
+	if _, err := Run(cfg, store); err == nil {
+		t.Fatal("corrupt projection did not propagate")
+	}
+}
+
+// A wrongly sized projection (valid blob, wrong detector) must be rejected
+// by the filtering stage and abort cleanly.
+func TestWrongSizeProjectionAborts(t *testing.T) {
+	g := geometry.Default(48, 48, 16, 16, 16, 16)
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	proj := projector.AnalyticAll(ph, g, 0)
+	store := pfs.New(pfs.Config{})
+	if err := StageProjections(store, "in", proj); err != nil {
+		t.Fatal(err)
+	}
+	small := projector.Analytic(ph, geometry.Default(16, 16, 16, 8, 8, 8), 0)
+	if _, err := store.WriteProjection("in", 3, small); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{R: 4, C: 1, Geometry: g, InputPrefix: "in"}
+	if _, err := Run(cfg, store); err == nil {
+		t.Fatal("wrong-size projection did not propagate")
+	}
+}

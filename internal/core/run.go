@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ifdk/internal/ct/backproject"
+	"ifdk/internal/ct/filter"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/hpc/mpi"
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/hpc/ringbuf"
+	"ifdk/internal/volume"
+)
+
+// tag used by row roots to ship reduced sub-volumes to rank 0 for assembly.
+const tagAssemble = 100
+
+// projItem flows through the pipeline ring buffers: a filtered projection
+// with its global index.
+type projItem struct {
+	s   int
+	img *volume.Image
+}
+
+// Run executes a distributed reconstruction on R·C in-process MPI ranks,
+// reading projections from and writing volume slices to the given PFS.
+// It is the Go realization of the paper's Fig. 2–4 flow.
+func Run(cfg Config, store *pfs.PFS) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.R * cfg.C
+	res := &Result{PerRank: make([]StageTimes, n)}
+	var assembled atomic.Pointer[volume.Volume]
+	var bytesSent atomic.Int64
+
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		t, vol, err := runRank(cfg, store, c)
+		if err != nil {
+			return err
+		}
+		res.PerRank[c.Rank()] = t
+		if c.Rank() == 0 {
+			bytesSent.Store(c.BytesSent())
+			if vol != nil {
+				assembled.Store(vol)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range res.PerRank {
+		res.Max = maxTimes(res.Max, t)
+	}
+	res.Volume = assembled.Load()
+	res.BytesSent = bytesSent.Load()
+	return res, nil
+}
+
+// runRank is the body of one MPI rank: the three-thread pipeline of
+// Fig. 4a followed by the reduce/store epilogue of Fig. 4b.
+func runRank(cfg Config, store *pfs.PFS, c *mpi.Comm) (StageTimes, *volume.Volume, error) {
+	var t StageTimes
+	g := cfg.Geometry
+	row := RankRow(c.Rank(), cfg.R)
+	col := RankCol(c.Rank(), cfg.R)
+	colComm, err := c.Split(col, row) // column group: AllGather of projections
+	if err != nil {
+		return t, nil, err
+	}
+	rowComm, err := c.Split(row, col) // row group: Reduce of sub-volumes
+	if err != nil {
+		return t, nil, err
+	}
+
+	start := time.Now()
+	quota := g.Np / (cfg.R * cfg.C)
+	colLo, _ := ColProjRange(col, g.Np, cfg.C)
+	myLo, myHi := RankProjRange(row, col, g.Np, cfg.R, cfg.C)
+	z0, z1 := RowSlab(row, g.Nz, cfg.R)
+	h := z1 - z0
+
+	// --- Filtering thread (Fig. 4a, left): load + filter own projections
+	// in round order and feed the Main thread through a circular buffer.
+	ringA := ringbuf.New[projItem](cfg.queueDepth())
+	filterErr := make(chan error, 1)
+	go func() {
+		filterErr <- func() error {
+			defer ringA.Close()
+			flt, err := filter.New(g, cfg.Window)
+			if err != nil {
+				return err
+			}
+			for s := myLo; s < myHi; s++ {
+				loadStart := time.Now()
+				img, _, err := store.ReadProjection(cfg.InputPrefix, s)
+				if err != nil {
+					return fmt.Errorf("rank %d: %w", c.Rank(), err)
+				}
+				t.Load += time.Since(loadStart)
+				fltStart := time.Now()
+				q, err := flt.Apply(img)
+				if err != nil {
+					return err
+				}
+				t.Filter += time.Since(fltStart)
+				if !ringA.Put(projItem{s: s, img: q}) {
+					return nil // pipeline shut down
+				}
+			}
+			return nil
+		}()
+	}()
+
+	// --- Back-projection thread (Fig. 4a, right): batch incoming filtered
+	// projections and accumulate them into the rank's slab-pair volume.
+	ringB := ringbuf.New[projItem](cfg.queueDepth() * max(1, cfg.R))
+	local := volume.New(g.Nx, g.Ny, 2*h, volume.KMajor)
+	bpErr := make(chan error, 1)
+	go func() {
+		bpErr <- func() error {
+			batchSize := cfg.Batch
+			if batchSize <= 0 {
+				batchSize = backproject.DefaultBatch
+			}
+			var imgs []*volume.Image
+			var mats []geometry.ProjMat
+			flush := func() error {
+				if len(imgs) == 0 {
+					return nil
+				}
+				bpStart := time.Now()
+				task := backproject.Task{Mats: mats, Proj: imgs}
+				opt := backproject.Options{Workers: cfg.workers(), Batch: batchSize}
+				if err := backproject.ProposedSlabPair(task, local, opt, g.Nz, z0, z1); err != nil {
+					return err
+				}
+				t.Backproject += time.Since(bpStart)
+				imgs, mats = imgs[:0], mats[:0]
+				return nil
+			}
+			for {
+				it, ok := ringB.Get()
+				if !ok {
+					return flush()
+				}
+				imgs = append(imgs, it.img)
+				mats = append(mats, geometry.ProjectionMatrix(g, g.Beta(it.s)))
+				if len(imgs) == batchSize {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}()
+	}()
+
+	// --- Main thread: one AllGather per projection round (Sec. 4.1.3);
+	// round r exchanges each column rank's r-th filtered projection, whose
+	// global index is colLo + i·quota + r for the rank at column position i.
+	mainErr := func() error {
+		defer ringB.Close()
+		for r := 0; r < quota; r++ {
+			it, ok := ringA.Get()
+			if !ok {
+				return fmt.Errorf("rank %d: filtering ended early at round %d", c.Rank(), r)
+			}
+			if it.s != myLo+r {
+				return fmt.Errorf("rank %d: projection %d out of order (want %d)", c.Rank(), it.s, myLo+r)
+			}
+			agStart := time.Now()
+			blocks, err := colComm.AllGather(it.img.Data)
+			if err != nil {
+				return err
+			}
+			t.AllGather += time.Since(agStart)
+			for i, blk := range blocks {
+				s := colLo + i*quota + r
+				if !ringB.Put(projItem{s: s, img: &volume.Image{W: g.Nu, H: g.Nv, Data: blk}}) {
+					return fmt.Errorf("rank %d: back-projection ended early", c.Rank())
+				}
+			}
+		}
+		return nil
+	}()
+	if mainErr != nil {
+		ringA.Close()
+		ringB.Close()
+		<-filterErr
+		<-bpErr
+		return t, nil, mainErr
+	}
+	if err := <-filterErr; err != nil {
+		ringB.Close()
+		<-bpErr
+		return t, nil, err
+	}
+	if err := <-bpErr; err != nil {
+		return t, nil, err
+	}
+	t.Compute = time.Since(start)
+
+	// --- Epilogue (Fig. 4b): reduce the row's partial volumes, store the
+	// output slices, optionally assemble the full volume at rank 0.
+	redStart := time.Now()
+	red, err := rowComm.Reduce(0, local.Data, mpi.OpSum)
+	if err != nil {
+		return t, nil, err
+	}
+	t.Reduce = time.Since(redStart)
+
+	var full *volume.Volume
+	if rowComm.Rank() == 0 { // row root (grid column 0)
+		reduced := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * h, Layout: volume.KMajor, Data: red}
+		if cfg.OutputPrefix != "" {
+			storeStart := time.Now()
+			planes := backproject.SlabPlanes(g.Nz, z0, z1)
+			for p, globalZ := range planes {
+				img := reduced.SliceZ(p)
+				if _, err := store.Write(pfs.SlicePath(cfg.OutputPrefix, globalZ), volume.ImageToBytes(img)); err != nil {
+					return t, nil, err
+				}
+			}
+			t.Store = time.Since(storeStart)
+		}
+		if cfg.AssembleVolume {
+			if c.Rank() == 0 {
+				full = volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
+				if err := backproject.SlabPairToGlobal(reduced, full, g.Nz, z0, z1); err != nil {
+					return t, nil, err
+				}
+				for otherRow := 1; otherRow < cfg.R; otherRow++ {
+					data, err := c.Recv(RankID(otherRow, 0, cfg.R), tagAssemble)
+					if err != nil {
+						return t, nil, err
+					}
+					oz0, oz1 := RowSlab(otherRow, g.Nz, cfg.R)
+					part := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * (oz1 - oz0), Layout: volume.KMajor, Data: data}
+					if err := backproject.SlabPairToGlobal(part, full, g.Nz, oz0, oz1); err != nil {
+						return t, nil, err
+					}
+				}
+			} else {
+				if err := c.Send(0, tagAssemble, red); err != nil {
+					return t, nil, err
+				}
+			}
+		}
+	}
+	t.Total = time.Since(start)
+	return t, full, nil
+}

@@ -1,0 +1,314 @@
+// Package backproject implements the back-projection stage of FDK on the
+// CPU: the standard algorithm of the paper's Alg. 2 (the scheme used by RTK
+// and RabbitCT) and the proposed algorithm of Alg. 4, which
+//
+//   - reuses u and the distance weight W_dis along each vertical voxel line
+//     (Theorems 2 and 3: both are independent of k),
+//   - computes only one of the three inner products per voxel (the y row),
+//   - processes only half of the Z range and derives the mirrored detector
+//     row ṽ = Nv-1-v for the symmetric voxel (Theorem 1), and
+//   - transposes the projections and stores the volume k-major so both are
+//     walked contiguously.
+//
+// Together these reduce the projection-coordinate computation to 1/6 of the
+// standard algorithm (Sec. 3.2.2).
+//
+// All arithmetic is float32 to match the GPU kernels; projection matrices
+// are narrowed per Listing 1's constant-memory layout. Both algorithms
+// accumulate per voxel in ascending projection order, so results are
+// deterministic and independent of the worker count.
+package backproject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/interp"
+	"ifdk/internal/volume"
+)
+
+// DefaultBatch is the number of projections accumulated per volume pass,
+// matching the GPU kernels' N_batch = 32 (Listing 1).
+const DefaultBatch = 32
+
+// Task bundles the filtered projections with their projection matrices.
+type Task struct {
+	Mats []geometry.ProjMat
+	Proj []*volume.Image // filtered projections Q_i, each Nu×Nv
+}
+
+// Validate reports structural problems with the task.
+func (t Task) Validate() error {
+	if len(t.Mats) == 0 {
+		return fmt.Errorf("backproject: empty task")
+	}
+	if len(t.Mats) != len(t.Proj) {
+		return fmt.Errorf("backproject: %d matrices for %d projections", len(t.Mats), len(t.Proj))
+	}
+	for n, p := range t.Proj {
+		if p == nil {
+			return fmt.Errorf("backproject: projection %d is nil", n)
+		}
+	}
+	w, h := t.Proj[0].W, t.Proj[0].H
+	for n, p := range t.Proj {
+		if p.W != w || p.H != h {
+			return fmt.Errorf("backproject: projection %d is %dx%d, want %dx%d", n, p.W, p.H, w, h)
+		}
+	}
+	return nil
+}
+
+// Options controls parallelism and batching.
+type Options struct {
+	Workers int // worker goroutines; 0 means GOMAXPROCS
+	Batch   int // projections per volume pass; 0 means DefaultBatch
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) batch() int {
+	if o.Batch <= 0 {
+		return DefaultBatch
+	}
+	return o.Batch
+}
+
+// Variant toggles the individual optimizations of the proposed algorithm
+// for ablation studies (DESIGN.md E2/E3 ablations). The zero Variant is the
+// fully naive per-voxel scheme on a k-major volume; Proposed uses all three.
+type Variant struct {
+	Symmetry  bool // exploit Theorem 1: process k and Nz-1-k together
+	Reuse     bool // exploit Theorems 2+3: hoist u and W_dis out of the k loop
+	Transpose bool // transpose projections for contiguous V-axis access
+}
+
+// ProposedVariant is the Variant used by Proposed.
+var ProposedVariant = Variant{Symmetry: true, Reuse: true, Transpose: true}
+
+// Standard back-projects the task into an i-major volume following Alg. 2
+// exactly: three inner products and a full interpolation per voxel per
+// projection. Parallelism is over Z slabs; accumulation per voxel stays in
+// ascending projection order.
+func Standard(task Task, vol *volume.Volume, opt Options) error {
+	if err := task.Validate(); err != nil {
+		return err
+	}
+	if vol.Layout != volume.IMajor {
+		return fmt.Errorf("backproject: Standard requires an i-major volume, got %v", vol.Layout)
+	}
+	nx, ny, nz := vol.Nx, vol.Ny, vol.Nz
+	w, h := task.Proj[0].W, task.Proj[0].H
+	batch := opt.batch()
+	for s0 := 0; s0 < len(task.Proj); s0 += batch {
+		s1 := min(s0+batch, len(task.Proj))
+		rows := narrowMats(task.Mats[s0:s1])
+		data := projData(task.Proj[s0:s1])
+		parallelRange(nz, opt.workers(), func(k0, k1 int) {
+			for k := k0; k < k1; k++ {
+				fk := float32(k)
+				for j := 0; j < ny; j++ {
+					fj := float32(j)
+					base := (k*ny + j) * nx
+					for i := 0; i < nx; i++ {
+						fi := float32(i)
+						var sum float32
+						for t := range rows {
+							r := &rows[t]
+							// Three inner products (Alg. 2 line 6).
+							x := r[0][0]*fi + r[0][1]*fj + r[0][2]*fk + r[0][3]
+							y := r[1][0]*fi + r[1][1]*fj + r[1][2]*fk + r[1][3]
+							z := r[2][0]*fi + r[2][1]*fj + r[2][2]*fk + r[2][3]
+							f := 1 / z
+							wdis := f * f
+							u := x * f
+							v := y * f
+							sum += wdis * interp.Bilinear(data[t], w, h, u, v)
+						}
+						vol.Data[base+i] += sum
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// Proposed back-projects the task into a k-major volume following Alg. 4.
+func Proposed(task Task, vol *volume.Volume, opt Options) error {
+	return Ablate(task, vol, opt, ProposedVariant)
+}
+
+// Ablate runs the proposed algorithm with individual optimizations toggled
+// by the variant. All variants compute the same volume (within float32
+// rounding); only the operation count and access pattern change.
+func Ablate(task Task, vol *volume.Volume, opt Options, va Variant) error {
+	if err := task.Validate(); err != nil {
+		return err
+	}
+	if vol.Layout != volume.KMajor {
+		return fmt.Errorf("backproject: Proposed requires a k-major volume, got %v", vol.Layout)
+	}
+	nx, ny, nz := vol.Nx, vol.Ny, vol.Nz
+	w, h := task.Proj[0].W, task.Proj[0].H
+	batch := opt.batch()
+	for s0 := 0; s0 < len(task.Proj); s0 += batch {
+		s1 := min(s0+batch, len(task.Proj))
+		rows := narrowMats(task.Mats[s0:s1])
+		// Transpose the batch once (Alg. 4 line 3); its cost is a small
+		// fraction of the back-projection (Sec. 3.2.3).
+		var data [][]float32
+		var tw, th int
+		if va.Transpose {
+			data = make([][]float32, s1-s0)
+			for t, p := range task.Proj[s0:s1] {
+				data[t] = p.Transpose().Data
+			}
+			tw, th = h, w // transposed: V is now the fast axis
+		} else {
+			data = projData(task.Proj[s0:s1])
+			tw, th = w, h
+		}
+		nb := s1 - s0
+		parallelRange(ny, opt.workers(), func(j0, j1 int) {
+			// Per-column state for the batch (the registers U, Z of
+			// Listing 1).
+			us := make([]float32, nb)
+			fs := make([]float32, nb)
+			ws := make([]float32, nb)
+			for j := j0; j < j1; j++ {
+				fj := float32(j)
+				for i := 0; i < nx; i++ {
+					fi := float32(i)
+					if va.Reuse {
+						// Two inner products per column (Alg. 4 line 7).
+						for t := range rows {
+							r := &rows[t]
+							x := r[0][0]*fi + r[0][1]*fj + r[0][3]
+							z := r[2][0]*fi + r[2][1]*fj + r[2][3]
+							f := 1 / z
+							us[t] = x * f
+							fs[t] = f
+							ws[t] = f * f
+						}
+					}
+					base := (i*ny + j) * nz
+					kHalf := nz / 2
+					if !va.Symmetry {
+						kHalf = nz
+					}
+					for k := 0; k < kHalf; k++ {
+						fk := float32(k)
+						var sum, sumSym float32
+						for t := range rows {
+							r := &rows[t]
+							var u, f, wdis float32
+							if va.Reuse {
+								u, f, wdis = us[t], fs[t], ws[t]
+							} else {
+								x := r[0][0]*fi + r[0][1]*fj + r[0][2]*fk + r[0][3]
+								z := r[2][0]*fi + r[2][1]*fj + r[2][2]*fk + r[2][3]
+								f = 1 / z
+								u = x * f
+								wdis = f * f
+							}
+							// One inner product per voxel (Alg. 4 line 12).
+							y := r[1][0]*fi + r[1][1]*fj + r[1][2]*fk + r[1][3]
+							v := y * f
+							sum += wdis * sampleProj(data[t], tw, th, u, v, va.Transpose)
+							if va.Symmetry {
+								vSym := float32(h-1) - v // Theorem 1
+								sumSym += wdis * sampleProj(data[t], tw, th, u, vSym, va.Transpose)
+							}
+						}
+						vol.Data[base+k] += sum
+						if va.Symmetry {
+							vol.Data[base+nz-1-k] += sumSym
+						}
+					}
+					if va.Symmetry && nz%2 == 1 {
+						// Odd Nz: the central plane has no mirror partner.
+						k := nz / 2
+						fk := float32(k)
+						var sum float32
+						for t := range rows {
+							r := &rows[t]
+							var u, f, wdis float32
+							if va.Reuse {
+								u, f, wdis = us[t], fs[t], ws[t]
+							} else {
+								x := r[0][0]*fi + r[0][1]*fj + r[0][2]*fk + r[0][3]
+								z := r[2][0]*fi + r[2][1]*fj + r[2][2]*fk + r[2][3]
+								f = 1 / z
+								u = x * f
+								wdis = f * f
+							}
+							y := r[1][0]*fi + r[1][1]*fj + r[1][2]*fk + r[1][3]
+							sum += wdis * sampleProj(data[t], tw, th, u, y*f, va.Transpose)
+						}
+						vol.Data[base+k] += sum
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// sampleProj interpolates the projection at detector coordinates (u, v).
+// For a transposed projection the axes are swapped: V is the fast axis.
+func sampleProj(data []float32, w, h int, u, v float32, transposed bool) float32 {
+	if transposed {
+		return interp.Bilinear(data, w, h, v, u)
+	}
+	return interp.Bilinear(data, w, h, u, v)
+}
+
+func narrowMats(mats []geometry.ProjMat) [][3][4]float32 {
+	out := make([][3][4]float32, len(mats))
+	for n, m := range mats {
+		out[n] = m.Rows32()
+	}
+	return out
+}
+
+func projData(imgs []*volume.Image) [][]float32 {
+	out := make([][]float32, len(imgs))
+	for n, p := range imgs {
+		out[n] = p.Data
+	}
+	return out
+}
+
+// parallelRange splits [0, n) into one contiguous chunk per worker and runs
+// body(lo, hi) concurrently.
+func parallelRange(n, workers int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,127 @@
+package backproject
+
+import (
+	"fmt"
+
+	"ifdk/internal/ct/interp"
+	"ifdk/internal/volume"
+)
+
+// ProposedSlabPair runs the proposed algorithm (Alg. 4) restricted to one
+// mirrored pair of Z slabs — the unit of the iFDK row decomposition. In the
+// distributed framework each row of the 2-D rank grid owns the voxels with
+// z ∈ [z0, z1) ∪ [Nz-z1, Nz-z0); because the proposed kernel touches a
+// voxel and its Theorem-1 mirror together, this pair is exactly what one
+// rank computes (the "2·R sub-volumes" of Fig. 3a).
+//
+// The destination volume is the compact local buffer of size
+// Nx×Ny×2·(z1-z0) in k-major layout: local plane p < h holds global plane
+// z0+p (the lower slab); local plane h+p holds global plane Nz-z1+p (the
+// upper slab, ascending).
+func ProposedSlabPair(task Task, vol *volume.Volume, opt Options, nzFull, z0, z1 int) error {
+	if err := task.Validate(); err != nil {
+		return err
+	}
+	if vol.Layout != volume.KMajor {
+		return fmt.Errorf("backproject: slab pair requires a k-major volume, got %v", vol.Layout)
+	}
+	if nzFull%2 != 0 {
+		return fmt.Errorf("backproject: slab decomposition requires an even Nz, got %d", nzFull)
+	}
+	h := z1 - z0
+	if z0 < 0 || z1 > nzFull/2 || h <= 0 {
+		return fmt.Errorf("backproject: slab [%d,%d) outside half-range [0,%d)", z0, z1, nzFull/2)
+	}
+	if vol.Nz != 2*h {
+		return fmt.Errorf("backproject: local volume depth %d, want %d", vol.Nz, 2*h)
+	}
+	nx, ny := vol.Nx, vol.Ny
+	w, ht := task.Proj[0].W, task.Proj[0].H
+	batch := opt.batch()
+	for s0 := 0; s0 < len(task.Proj); s0 += batch {
+		s1 := min(s0+batch, len(task.Proj))
+		rows := narrowMats(task.Mats[s0:s1])
+		data := make([][]float32, s1-s0)
+		for t, p := range task.Proj[s0:s1] {
+			data[t] = p.Transpose().Data
+		}
+		nb := s1 - s0
+		parallelRange(ny, opt.workers(), func(j0, j1 int) {
+			us := make([]float32, nb)
+			fs := make([]float32, nb)
+			ws := make([]float32, nb)
+			for j := j0; j < j1; j++ {
+				fj := float32(j)
+				for i := 0; i < nx; i++ {
+					fi := float32(i)
+					for t := range rows {
+						r := &rows[t]
+						x := r[0][0]*fi + r[0][1]*fj + r[0][3]
+						z := r[2][0]*fi + r[2][1]*fj + r[2][3]
+						f := 1 / z
+						us[t] = x * f
+						fs[t] = f
+						ws[t] = f * f
+					}
+					base := (i*ny + j) * vol.Nz
+					for k := z0; k < z1; k++ {
+						fk := float32(k)
+						var sum, sumSym float32
+						for t := range rows {
+							r := &rows[t]
+							u, f, wdis := us[t], fs[t], ws[t]
+							y := r[1][0]*fi + r[1][1]*fj + r[1][2]*fk + r[1][3]
+							v := y * f
+							vSym := float32(ht-1) - v
+							sum += wdis * interp.Bilinear(data[t], ht, w, v, u)
+							sumSym += wdis * interp.Bilinear(data[t], ht, w, vSym, u)
+						}
+						// Lower slab: local plane k-z0.
+						vol.Data[base+k-z0] += sum
+						// Upper slab ascending: global Nz-1-k is local
+						// h + (Nz-1-k - (Nz-z1)) = h + z1-1-k.
+						vol.Data[base+h+z1-1-k] += sumSym
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// SlabPairToGlobal copies a slab-pair local volume into the right planes of
+// a full i-major volume (used to assemble distributed results).
+func SlabPairToGlobal(local *volume.Volume, global *volume.Volume, nzFull, z0, z1 int) error {
+	h := z1 - z0
+	if local.Nz != 2*h || global.Nz != nzFull {
+		return fmt.Errorf("backproject: slab assembly size mismatch (local %d, global %d)", local.Nz, global.Nz)
+	}
+	if local.Nx != global.Nx || local.Ny != global.Ny {
+		return fmt.Errorf("backproject: slab assembly XY mismatch")
+	}
+	for p := 0; p < h; p++ {
+		lower := z0 + p
+		upper := nzFull - z1 + p
+		for j := 0; j < local.Ny; j++ {
+			for i := 0; i < local.Nx; i++ {
+				global.Set(i, j, lower, local.At(i, j, p))
+				global.Set(i, j, upper, local.At(i, j, h+p))
+			}
+		}
+	}
+	return nil
+}
+
+// SlabPlanes returns the global Z planes covered by the slab pair, in local
+// plane order (useful for writing output slices).
+func SlabPlanes(nzFull, z0, z1 int) []int {
+	h := z1 - z0
+	out := make([]int, 0, 2*h)
+	for p := 0; p < h; p++ {
+		out = append(out, z0+p)
+	}
+	for p := 0; p < h; p++ {
+		out = append(out, nzFull-z1+p)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package geometry
+
+import "math"
+
+// Mat4 is a dense 4×4 matrix in row-major order, used to compose the
+// homogeneous transforms M0, Mrot and M1 of Eq. 2.
+type Mat4 [16]float64
+
+// At returns element (r, c).
+func (m Mat4) At(r, c int) float64 { return m[4*r+c] }
+
+// Mul returns m·n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var sum float64
+			for k := 0; k < 4; k++ {
+				sum += m[4*r+k] * n[4*k+c]
+			}
+			out[4*r+c] = sum
+		}
+	}
+	return out
+}
+
+// MulVec applies m to the homogeneous column vector v.
+func (m Mat4) MulVec(v [4]float64) [4]float64 {
+	var out [4]float64
+	for r := 0; r < 4; r++ {
+		out[r] = m[4*r]*v[0] + m[4*r+1]*v[1] + m[4*r+2]*v[2] + m[4*r+3]*v[3]
+	}
+	return out
+}
+
+// Identity returns the 4×4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// M0 builds the volume→world transform of Eq. 2: voxel indices are centred
+// ((Nx-1)/2, ...), the j and k axes flipped, then scaled by the voxel pitch:
+//
+//	M0 = diag(Dx, Dy, Dz, 1) · [[1,0,0,-(Nx-1)/2], [0,-1,0,(Ny-1)/2],
+//	                            [0,0,-1,(Nz-1)/2], [0,0,0,1]].
+func M0(p Params) Mat4 {
+	scale := Mat4{
+		p.Dx, 0, 0, 0,
+		0, p.Dy, 0, 0,
+		0, 0, p.Dz, 0,
+		0, 0, 0, 1,
+	}
+	center := Mat4{
+		1, 0, 0, -float64(p.Nx-1) / 2,
+		0, -1, 0, float64(p.Ny-1) / 2,
+		0, 0, -1, float64(p.Nz-1) / 2,
+		0, 0, 0, 1,
+	}
+	return scale.Mul(center)
+}
+
+// Mrot builds the gantry transform of Eq. 2 for rotation angle β: a rotation
+// by β around the world Z axis followed by the axis permutation that points
+// the camera's third coordinate at the detector and offsets it by the
+// source-axis distance d:
+//
+//	Mrot = [[1,0,0,0], [0,0,-1,0], [0,1,0,d], [0,0,0,1]] · Rz(β).
+func Mrot(p Params, beta float64) Mat4 {
+	sin, cos := math.Sincos(beta)
+	rot := Mat4{
+		cos, -sin, 0, 0,
+		sin, cos, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+	axis := Mat4{
+		1, 0, 0, 0,
+		0, 0, -1, 0,
+		0, 1, 0, p.SAD,
+		0, 0, 0, 1,
+	}
+	return axis.Mul(rot)
+}
+
+// M1 builds the pinhole projection of Eq. 2 mapping camera coordinates to
+// homogeneous detector pixels:
+//
+//	M1 = diag(1/Du, 1/Dv, 1, 1) · [[D,0,(Nu-1)·Du/2,0], [0,D,(Nv-1)·Dv/2,0],
+//	                               [0,0,1,0], [0,0,0,1]].
+func M1(p Params) Mat4 {
+	pitch := Mat4{
+		1 / p.Du, 0, 0, 0,
+		0, 1 / p.Dv, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+	proj := Mat4{
+		p.SDD, 0, float64(p.Nu-1) * p.Du / 2, 0,
+		0, p.SDD, float64(p.Nv-1) * p.Dv / 2, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+	return pitch.Mul(proj)
+}

@@ -1,0 +1,94 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(seed int64) Mat4 {
+	rng := rand.New(rand.NewSource(seed))
+	var m Mat4
+	for i := range m {
+		m[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func matApproxEqual(a, b Mat4, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIdentityMul(t *testing.T) {
+	m := randMat(1)
+	if !matApproxEqual(Identity().Mul(m), m, 0) {
+		t.Error("I·M != M")
+	}
+	if !matApproxEqual(m.Mul(Identity()), m, 0) {
+		t.Error("M·I != M")
+	}
+}
+
+func TestMulAssociativeProperty(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := randMat(s1), randMat(s2), randMat(s3)
+		return matApproxEqual(a.Mul(b).Mul(c), a.Mul(b.Mul(c)), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	a, b := randMat(5), randMat(6)
+	v := [4]float64{1, -2, 3, 1}
+	lhs := a.Mul(b).MulVec(v)
+	rhs := a.MulVec(b.MulVec(v))
+	for i := range lhs {
+		if math.Abs(lhs[i]-rhs[i]) > 1e-12 {
+			t.Fatalf("(AB)v != A(Bv) at %d", i)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	var m Mat4
+	for i := range m {
+		m[i] = float64(i)
+	}
+	if m.At(1, 2) != 6 || m.At(3, 3) != 15 {
+		t.Error("At indexing wrong")
+	}
+}
+
+func TestM0MapsVoxelToWorld(t *testing.T) {
+	p := Default(64, 64, 90, 32, 32, 32)
+	m0 := M0(p)
+	for _, ijk := range [][3]float64{{0, 0, 0}, {15.5, 15.5, 15.5}, {31, 31, 31}, {3, 17, 29}} {
+		got := m0.MulVec([4]float64{ijk[0], ijk[1], ijk[2], 1})
+		wx, wy, wz := p.VoxelCenter(ijk[0], ijk[1], ijk[2])
+		if math.Abs(got[0]-wx) > 1e-12 || math.Abs(got[1]-wy) > 1e-12 || math.Abs(got[2]-wz) > 1e-12 {
+			t.Errorf("M0(%v) = (%g,%g,%g), want (%g,%g,%g)", ijk, got[0], got[1], got[2], wx, wy, wz)
+		}
+		if got[3] != 1 {
+			t.Errorf("homogeneous coordinate = %g", got[3])
+		}
+	}
+}
+
+func TestMrotDepthOffset(t *testing.T) {
+	// The world origin must map to camera depth d at every angle.
+	p := Default(64, 64, 90, 32, 32, 32)
+	for _, beta := range []float64{0, 0.3, math.Pi / 2, math.Pi, 5.1} {
+		g := Mrot(p, beta).MulVec([4]float64{0, 0, 0, 1})
+		if math.Abs(g[2]-p.SAD) > 1e-12 {
+			t.Errorf("β=%g: depth of isocentre = %g, want %g", beta, g[2], p.SAD)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package geometry implements the cone-beam CT (CBCT) geometry of the
+// paper's Sec. 2.2: the acquisition parameters of Table 1, the projection
+// matrices P_i = (M1 · Mrot · M0)[0:3] of Eq. 2, and the source/detector
+// rays used by the forward projector.
+//
+// Frames. The "world" (volume physical) frame is the output frame of M0:
+// millimetric coordinates centred in the volume with X along i, Y along -j
+// and Z along -k (Fig. 1b). Mrot rotates the world by the gantry angle β
+// around Z and re-expresses the result in the "camera" frame whose origin is
+// the X-ray source and whose third axis points at the detector. M1 applies
+// the pinhole projection onto the flat-panel detector (FPD) in pixel units.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params collects the CBCT acquisition parameters of Table 1.
+type Params struct {
+	Np     int     // number of 2-D projections over the full 2π orbit
+	Nu, Nv int     // detector width and height in pixels
+	Du, Dv float64 // detector pixel pitch (mm/pixel) in U and V
+	SAD    float64 // d: distance of X-ray source to the rotation (Z) axis
+	SDD    float64 // D: distance of X-ray source to the FPD centre
+
+	Nx, Ny, Nz int     // voxel counts
+	Dx, Dy, Dz float64 // voxel pitch (mm/voxel)
+}
+
+// Theta returns the rotation step angle θ = 2π/Np.
+func (p Params) Theta() float64 { return 2 * math.Pi / float64(p.Np) }
+
+// Beta returns the gantry angle of the s-th projection, s ∈ [0, Np).
+func (p Params) Beta(s int) float64 { return float64(s) * p.Theta() }
+
+// DetCenterU returns (Nu-1)/2, the U coordinate of the detector centre.
+func (p Params) DetCenterU() float64 { return float64(p.Nu-1) / 2 }
+
+// DetCenterV returns (Nv-1)/2, the V coordinate of the detector centre.
+func (p Params) DetCenterV() float64 { return float64(p.Nv-1) / 2 }
+
+// Magnification returns D/d, the cone-beam magnification at the rotation
+// axis.
+func (p Params) Magnification() float64 { return p.SDD / p.SAD }
+
+// VoxelCenter returns the world coordinates of the centre of voxel
+// (i, j, k), i.e. M0 · [i, j, k, 1]ᵀ.
+func (p Params) VoxelCenter(i, j, k float64) (x, y, z float64) {
+	x = p.Dx * (i - float64(p.Nx-1)/2)
+	y = p.Dy * (float64(p.Ny-1)/2 - j)
+	z = p.Dz * (float64(p.Nz-1)/2 - k)
+	return
+}
+
+// FOVRadius returns the radius (mm) of the cylindrical field of view that is
+// visible on the detector at every angle: the fan half-width projected back
+// to the rotation axis.
+func (p Params) FOVRadius() float64 {
+	halfFan := float64(p.Nu) * p.Du / 2
+	return p.SAD * halfFan / math.Sqrt(p.SDD*p.SDD+halfFan*halfFan)
+}
+
+// Validate reports a descriptive error when the parameter set is not
+// physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.Np <= 0:
+		return fmt.Errorf("geometry: Np = %d must be positive", p.Np)
+	case p.Nu <= 0 || p.Nv <= 0:
+		return fmt.Errorf("geometry: detector %dx%d must be positive", p.Nu, p.Nv)
+	case p.Nx <= 0 || p.Ny <= 0 || p.Nz <= 0:
+		return fmt.Errorf("geometry: volume %dx%dx%d must be positive", p.Nx, p.Ny, p.Nz)
+	case p.Du <= 0 || p.Dv <= 0:
+		return fmt.Errorf("geometry: detector pitch %gx%g must be positive", p.Du, p.Dv)
+	case p.Dx <= 0 || p.Dy <= 0 || p.Dz <= 0:
+		return fmt.Errorf("geometry: voxel pitch %gx%gx%g must be positive", p.Dx, p.Dy, p.Dz)
+	case p.SAD <= 0 || p.SDD <= 0:
+		return fmt.Errorf("geometry: d = %g, D = %g must be positive", p.SAD, p.SDD)
+	case p.SDD < p.SAD:
+		return fmt.Errorf("geometry: D = %g must be ≥ d = %g", p.SDD, p.SAD)
+	}
+	return nil
+}
+
+// Default returns a parameter set for the image-reconstruction problem
+// Nu×Nv×Np → Nx×Ny×Nz with unit detector pitch and the voxel pitch chosen
+// so the volume snugly fits the guaranteed field of view. Distances follow
+// the paper's convention of measuring d and D in detector-pixel units
+// (Table 1): d = 1000 px and D = 1536 px, a typical C-arm ratio.
+func Default(nu, nv, np, nx, ny, nz int) Params {
+	p := Params{
+		Np: np, Nu: nu, Nv: nv,
+		Du: 1, Dv: 1,
+		SAD: 1000, SDD: 1536,
+		Nx: nx, Ny: ny, Nz: nz,
+	}
+	// Fit the volume diagonal inside the cylindrical FOV with 5% margin.
+	r := p.FOVRadius() * 0.95
+	p.Dx = 2 * r / math.Sqrt2 / float64(nx)
+	p.Dy = 2 * r / math.Sqrt2 / float64(ny)
+	// Vertical extent: the cone half-height at the axis.
+	halfCone := float64(nv) * p.Dv / 2 * p.SAD / p.SDD * 0.95
+	p.Dz = 2 * halfCone / float64(nz)
+	return p
+}
+
+// Problem describes an image-reconstruction problem in the paper's notation
+// Nu×Nv×Np → Nx×Ny×Nz (Sec. 2.3, definition I).
+type Problem struct {
+	Nu, Nv, Np int
+	Nx, Ny, Nz int
+}
+
+// String formats the problem in the paper's arrow notation.
+func (pr Problem) String() string {
+	return fmt.Sprintf("%dx%dx%d->%dx%dx%d", pr.Nu, pr.Nv, pr.Np, pr.Nx, pr.Ny, pr.Nz)
+}
+
+// Alpha returns α, the ratio of input to output problem size (Table 4).
+func (pr Problem) Alpha() float64 {
+	in := float64(pr.Nu) * float64(pr.Nv) * float64(pr.Np)
+	out := float64(pr.Nx) * float64(pr.Ny) * float64(pr.Nz)
+	return in / out
+}
+
+// InputBytes returns the size of the input projections in bytes (float32).
+func (pr Problem) InputBytes() int64 {
+	return 4 * int64(pr.Nu) * int64(pr.Nv) * int64(pr.Np)
+}
+
+// OutputBytes returns the size of the output volume in bytes (float32).
+func (pr Problem) OutputBytes() int64 {
+	return 4 * int64(pr.Nx) * int64(pr.Ny) * int64(pr.Nz)
+}
+
+// Updates returns the total number of voxel updates Nx·Ny·Nz·Np, the
+// numerator of the GUPS metric (Sec. 2.3, definition II).
+func (pr Problem) Updates() float64 {
+	return float64(pr.Nx) * float64(pr.Ny) * float64(pr.Nz) * float64(pr.Np)
+}
+
+// GUPS converts an execution time for this problem into giga-updates per
+// second: Nx·Ny·Nz·Np / (T · 2³⁰).
+func (pr Problem) GUPS(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return pr.Updates() / seconds / (1 << 30)
+}
+
+// Params instantiates full geometry parameters for the problem via Default.
+func (pr Problem) Params() Params {
+	return Default(pr.Nu, pr.Nv, pr.Np, pr.Nx, pr.Ny, pr.Nz)
+}

@@ -1,0 +1,61 @@
+package geometry
+
+// ProjMat is the 3×4 projection matrix P_i of Eq. 2 in row-major order:
+// the first three rows of M1 · Mrot(β) · M0. Applying it to a homogeneous
+// voxel index [i, j, k, 1]ᵀ yields [x, y, z]ᵀ; the detector coordinates are
+// u = x/z, v = y/z and z is the source-to-voxel depth used by the FDK
+// distance weight (Alg. 2 lines 6–9).
+type ProjMat [12]float64
+
+// ProjectionMatrix builds P for gantry angle β.
+func ProjectionMatrix(p Params, beta float64) ProjMat {
+	m := M1(p).Mul(Mrot(p, beta)).Mul(M0(p))
+	var out ProjMat
+	copy(out[:], m[:12])
+	return out
+}
+
+// ProjectionMatrices builds the Np matrices P_0..P_{Np-1} at the uniform
+// angles β_s = s·θ.
+func ProjectionMatrices(p Params) []ProjMat {
+	out := make([]ProjMat, p.Np)
+	for s := range out {
+		out[s] = ProjectionMatrix(p, p.Beta(s))
+	}
+	return out
+}
+
+// Apply computes [x, y, z]ᵀ = P · [i, j, k, 1]ᵀ (the three inner products of
+// Alg. 2 line 6).
+func (P ProjMat) Apply(i, j, k float64) (x, y, z float64) {
+	x = P[0]*i + P[1]*j + P[2]*k + P[3]
+	y = P[4]*i + P[5]*j + P[6]*k + P[7]
+	z = P[8]*i + P[9]*j + P[10]*k + P[11]
+	return
+}
+
+// Project returns the detector coordinates (u, v) of voxel (i, j, k) and
+// the depth z (Eq. 1).
+func (P ProjMat) Project(i, j, k float64) (u, v, z float64) {
+	x, y, z := P.Apply(i, j, k)
+	f := 1 / z
+	return x * f, y * f, z
+}
+
+// Row returns row r (r ∈ {0, 1, 2}) as a 4-vector; the proposed algorithm
+// consumes the rows separately (Alg. 4 lines 7 and 12).
+func (P ProjMat) Row(r int) [4]float64 {
+	return [4]float64{P[4*r], P[4*r+1], P[4*r+2], P[4*r+3]}
+}
+
+// Rows32 narrows the matrix to float32 rows in the layout used by the GPU
+// kernels' constant memory (Listing 1: `__constant float4 ProjMat[32][3]`).
+func (P ProjMat) Rows32() [3][4]float32 {
+	var out [3][4]float32
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			out[r][c] = float32(P[4*r+c])
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package geometry
+
+import "math"
+
+// Vec3 is a 3-D vector in world coordinates.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a+b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a-b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s·a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a/|a| (or the zero vector when |a| = 0).
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// SourcePosition returns the X-ray source location in world coordinates at
+// gantry angle β. It is the preimage of the camera origin:
+// S(β) = Rz(-β) · (0, -d, 0)ᵀ = (-d·sin β, -d·cos β, 0).
+func SourcePosition(p Params, beta float64) Vec3 {
+	sin, cos := math.Sincos(beta)
+	return Vec3{-p.SAD * sin, -p.SAD * cos, 0}
+}
+
+// Ray is a parametric half-line Origin + t·Dir with |Dir| = 1.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+}
+
+// DetectorRay returns the ray from the source through the centre of detector
+// pixel (u, v) at gantry angle β, in world coordinates. It inverts the M1
+// and Mrot transforms: in the camera frame the ray direction is
+// ((u-cu)·Du/D, (v-cv)·Dv/D, 1); the axis permutation of Mrot maps camera
+// (x, y, z) to rotated-world (x, z, -y), which Rz(-β) returns to the world.
+func DetectorRay(p Params, beta, u, v float64) Ray {
+	dgx := (u - p.DetCenterU()) * p.Du / p.SDD
+	dgy := (v - p.DetCenterV()) * p.Dv / p.SDD
+	// Camera → rotated world: x_r = g.x, y_r = g.z, z_r = -g.y.
+	dr := Vec3{dgx, 1, -dgy}
+	sin, cos := math.Sincos(beta)
+	// World = Rz(-β) · rotated.
+	dw := Vec3{
+		cos*dr.X + sin*dr.Y,
+		-sin*dr.X + cos*dr.Y,
+		dr.Z,
+	}
+	return Ray{Origin: SourcePosition(p, beta), Dir: dw.Normalize()}
+}

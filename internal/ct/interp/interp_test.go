@@ -1,0 +1,137 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// grid builds a w×h image with data[v*w+u] = f(u, v).
+func grid(w, h int, f func(u, v int) float32) []float32 {
+	out := make([]float32, w*h)
+	for v := 0; v < h; v++ {
+		for u := 0; u < w; u++ {
+			out[v*w+u] = f(u, v)
+		}
+	}
+	return out
+}
+
+func TestExactAtGridPoints(t *testing.T) {
+	w, h := 5, 4
+	data := grid(w, h, func(u, v int) float32 { return float32(10*v + u) })
+	for v := 0; v < h; v++ {
+		for u := 0; u < w; u++ {
+			got := Bilinear(data, w, h, float32(u), float32(v))
+			want := float32(10*v + u)
+			if got != want {
+				t.Fatalf("at (%d,%d): got %g want %g", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMidpointAverages(t *testing.T) {
+	w, h := 3, 3
+	data := grid(w, h, func(u, v int) float32 { return float32(u + v) })
+	got := Bilinear(data, w, h, 0.5, 0.5)
+	// Average of 0, 1, 1, 2 = 1.
+	if math.Abs(float64(got)-1) > 1e-6 {
+		t.Errorf("midpoint = %g, want 1", got)
+	}
+}
+
+// Property: bilinear interpolation reproduces affine images exactly
+// (within float32 rounding) at any interior point.
+func TestReproducesAffineProperty(t *testing.T) {
+	const w, h = 16, 12
+	f := func(a, b, c float32, fu, fv float64) bool {
+		// Clamp coefficients to a tame range.
+		a = float32(math.Mod(float64(a), 4))
+		b = float32(math.Mod(float64(b), 4))
+		c = float32(math.Mod(float64(c), 4))
+		data := grid(w, h, func(u, v int) float32 {
+			return a*float32(u) + b*float32(v) + c
+		})
+		u := float32(math.Mod(math.Abs(fu), 1) * (w - 1))
+		v := float32(math.Mod(math.Abs(fv), 1) * (h - 1))
+		got := Bilinear(data, w, h, u, v)
+		want := a*u + b*v + c
+		return math.Abs(float64(got-want)) <= 1e-4*(1+math.Abs(float64(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutsideReturnsZero(t *testing.T) {
+	w, h := 4, 4
+	data := grid(w, h, func(u, v int) float32 { return 7 })
+	cases := [][2]float32{{-2, 1}, {1, -2}, {4, 1}, {1, 4}, {-1.5, -1.5}, {100, 100}}
+	for _, c := range cases {
+		if got := Bilinear(data, w, h, c[0], c[1]); got != 0 {
+			t.Errorf("at (%g,%g): got %g, want 0", c[0], c[1], got)
+		}
+	}
+}
+
+func TestBorderFadesToZero(t *testing.T) {
+	// Between -1 and 0 the sample blends with the zero border.
+	w, h := 4, 4
+	data := grid(w, h, func(u, v int) float32 { return 8 })
+	got := Bilinear(data, w, h, -0.5, 1)
+	if math.Abs(float64(got)-4) > 1e-6 {
+		t.Errorf("border blend = %g, want 4", got)
+	}
+	got = Bilinear(data, w, h, 3.5, 1) // last column blends with border
+	if math.Abs(float64(got)-4) > 1e-6 {
+		t.Errorf("right border blend = %g, want 4", got)
+	}
+}
+
+// Property: interpolated values are bounded by the min/max of the image
+// in the fully interior region.
+func TestBoundedProperty(t *testing.T) {
+	const w, h = 8, 8
+	f := func(seed int64, fu, fv float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float32, w*h)
+		lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+		for n := range data {
+			data[n] = rng.Float32()*10 - 5
+			if data[n] < lo {
+				lo = data[n]
+			}
+			if data[n] > hi {
+				hi = data[n]
+			}
+		}
+		u := float32(math.Mod(math.Abs(fu), 1) * (w - 1))
+		v := float32(math.Mod(math.Abs(fv), 1) * (h - 1))
+		got := Bilinear(data, w, h, u, v)
+		return got >= lo-1e-5 && got <= hi+1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorInt(t *testing.T) {
+	cases := map[float32]int{0: 0, 0.9: 0, 1.0: 1, -0.1: -1, -1.0: -1, -1.5: -2, 2.5: 2}
+	for in, want := range cases {
+		if got := floorInt(in); got != want {
+			t.Errorf("floorInt(%g) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkBilinear(b *testing.B) {
+	const w, h = 512, 512
+	data := grid(w, h, func(u, v int) float32 { return float32(u ^ v) })
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Bilinear(data, w, h, float32(i%510)+0.3, float32((i*7)%510)+0.6)
+	}
+	_ = sink
+}

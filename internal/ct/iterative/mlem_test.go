@@ -1,0 +1,74 @@
+package iterative
+
+import (
+	"testing"
+
+	"ifdk/internal/volume"
+)
+
+func TestMLEMReducesResidual(t *testing.T) {
+	g, _, meas := sartSetup()
+	one, err := MLEM(g, meas, MLEMConfig{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := MLEM(g, meas, MLEMConfig{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Residual(g, one, meas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Residual(g, five, meas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5 >= r1 {
+		t.Errorf("MLEM residual did not decrease: %g -> %g", r1, r5)
+	}
+}
+
+func TestMLEMStaysNonNegative(t *testing.T) {
+	g, _, meas := sartSetup()
+	vol, err := MLEM(g, meas, MLEMConfig{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, v := range vol.Data {
+		if v < 0 {
+			t.Fatalf("voxel %d went negative: %g", n, v)
+		}
+	}
+}
+
+func TestMLEMApproachesPhantom(t *testing.T) {
+	g, ph, meas := sartSetup()
+	truth := ph.Voxelize(g)
+	rec, err := MLEM(g, meas, MLEMConfig{Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the flat unit start: reconstruction must be closer
+	// to the truth than the initializer.
+	start := volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
+	start.Fill(1)
+	rmseStart, _ := volume.RMSE(truth, start)
+	rmseRec, _ := volume.RMSE(truth, rec)
+	if rmseRec >= rmseStart {
+		t.Errorf("MLEM did not improve over the flat start: %g vs %g", rmseRec, rmseStart)
+	}
+}
+
+func TestMLEMValidation(t *testing.T) {
+	g, _, meas := sartSetup()
+	if _, err := MLEM(g, meas[:2], MLEMConfig{}); err == nil {
+		t.Error("short projection list accepted")
+	}
+	neg := meas[0].Clone()
+	neg.Data[0] = -1
+	bad := append([]*volume.Image{neg}, meas[1:]...)
+	if _, err := MLEM(g, bad, MLEMConfig{}); err == nil {
+		t.Error("negative measurement accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package iterative
+
+import (
+	"testing"
+
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/projector"
+	"ifdk/internal/volume"
+)
+
+func sartSetup() (geometry.Params, phantom.Phantom, []*volume.Image) {
+	g := geometry.Default(32, 32, 12, 16, 16, 16)
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	return g, ph, projector.AnalyticAll(ph, g, 0)
+}
+
+func TestSARTReducesResidual(t *testing.T) {
+	g, _, meas := sartSetup()
+	zero := volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
+	r0, err := Residual(g, zero, meas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SART(g, meas, Config{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Residual(g, one, meas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 >= r0 {
+		t.Fatalf("one SART sweep did not reduce the residual: %g -> %g", r0, r1)
+	}
+	three, err := SART(g, meas, Config{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Residual(g, three, meas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 >= r1 {
+		t.Fatalf("more sweeps did not help: %g -> %g", r1, r3)
+	}
+}
+
+func TestSARTApproachesPhantom(t *testing.T) {
+	g, ph, meas := sartSetup()
+	truth := ph.Voxelize(g)
+	rec, err := SART(g, meas, Config{Iterations: 4, Lambda: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
+	rmseZero, _ := volume.RMSE(truth, zero)
+	rmseRec, _ := volume.RMSE(truth, rec)
+	if rmseRec >= 0.6*rmseZero {
+		t.Errorf("SART volume RMSE %g did not improve enough over empty %g", rmseRec, rmseZero)
+	}
+	// The centre of the sphere should approach its density.
+	c := float64(rec.At(8, 8, 8))
+	if c < 0.5 || c > 1.5 {
+		t.Errorf("centre voxel = %g, want ≈ 1", c)
+	}
+}
+
+func TestSARTWarmStart(t *testing.T) {
+	g, _, meas := sartSetup()
+	cold, err := SART(g, meas, Config{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SART(g, meas, Config{Iterations: 1, Initial: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCold, _ := Residual(g, cold, meas, 0)
+	rWarm, _ := Residual(g, warm, meas, 0)
+	if rWarm >= rCold {
+		t.Errorf("warm start did not improve: %g -> %g", rCold, rWarm)
+	}
+	// Initial must not be modified.
+	again, _ := Residual(g, cold, meas, 0)
+	if again != rCold {
+		t.Error("SART modified the initial volume")
+	}
+}
+
+func TestSARTValidation(t *testing.T) {
+	g, _, meas := sartSetup()
+	if _, err := SART(g, meas[:3], Config{}); err == nil {
+		t.Error("short projection list accepted")
+	}
+	if _, err := SART(g, meas, Config{Lambda: 2.5}); err == nil {
+		t.Error("λ ≥ 2 accepted")
+	}
+	if _, err := SART(g, meas, Config{Initial: volume.New(4, 4, 4, volume.IMajor)}); err == nil {
+		t.Error("mismatched initial volume accepted")
+	}
+	bad := g
+	bad.Np = 0
+	if _, err := SART(bad, nil, Config{}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if _, err := Residual(g, volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor), meas[:2], 0); err == nil {
+		t.Error("Residual with short list accepted")
+	}
+}

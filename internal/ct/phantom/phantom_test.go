@@ -1,0 +1,175 @@
+package phantom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ifdk/internal/ct/geometry"
+)
+
+func TestUniformSphereDensity(t *testing.T) {
+	p := UniformSphere(10, 2.5)
+	if got := p.Density(0, 0, 0); got != 2.5 {
+		t.Errorf("density at centre = %g", got)
+	}
+	if got := p.Density(9.9, 0, 0); got != 2.5 {
+		t.Errorf("density just inside = %g", got)
+	}
+	if got := p.Density(10.1, 0, 0); got != 0 {
+		t.Errorf("density outside = %g", got)
+	}
+}
+
+func TestSphereChordThroughCenter(t *testing.T) {
+	p := UniformSphere(7, 3)
+	ray := geometry.Ray{Origin: geometry.Vec3{X: -100}, Dir: geometry.Vec3{X: 1}}
+	got := p.LineIntegral(ray)
+	want := 2.0 * 7 * 3 // diameter × rho
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("central chord integral = %g, want %g", got, want)
+	}
+}
+
+func TestSphereChordOffCenter(t *testing.T) {
+	// Chord at impact parameter b: 2·sqrt(r²-b²).
+	r, rho, b := 5.0, 1.0, 3.0
+	p := UniformSphere(r, rho)
+	ray := geometry.Ray{Origin: geometry.Vec3{X: -100, Y: b}, Dir: geometry.Vec3{X: 1}}
+	got := p.LineIntegral(ray)
+	want := 2 * math.Sqrt(r*r-b*b) * rho
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("chord integral = %g, want %g", got, want)
+	}
+	// Miss entirely.
+	miss := geometry.Ray{Origin: geometry.Vec3{X: -100, Y: r + 1}, Dir: geometry.Vec3{X: 1}}
+	if p.LineIntegral(miss) != 0 {
+		t.Error("ray missing the sphere should integrate to 0")
+	}
+}
+
+func TestChordClipsBehindOrigin(t *testing.T) {
+	p := UniformSphere(5, 1)
+	// Origin at centre: only the forward half contributes.
+	ray := geometry.Ray{Origin: geometry.Vec3{}, Dir: geometry.Vec3{X: 1}}
+	if got := p.LineIntegral(ray); math.Abs(got-5) > 1e-9 {
+		t.Errorf("half-chord = %g, want 5", got)
+	}
+	// Sphere entirely behind the origin.
+	behind := geometry.Ray{Origin: geometry.Vec3{X: 100}, Dir: geometry.Vec3{X: 1}}
+	if got := p.LineIntegral(behind); got != 0 {
+		t.Errorf("behind-origin integral = %g", got)
+	}
+}
+
+func TestRotatedEllipsoidChord(t *testing.T) {
+	// An ellipsoid rotated 90° about Z swaps its A and B axes.
+	e := Ellipsoid{A: 2, B: 6, C: 1, Phi: math.Pi / 2, Rho: 1}
+	p := Phantom{Ellipsoids: []Ellipsoid{e}}
+	alongX := geometry.Ray{Origin: geometry.Vec3{X: -100}, Dir: geometry.Vec3{X: 1}}
+	if got := p.LineIntegral(alongX); math.Abs(got-12) > 1e-9 {
+		t.Errorf("chord along X = %g, want 12 (rotated B axis)", got)
+	}
+	alongY := geometry.Ray{Origin: geometry.Vec3{Y: -100}, Dir: geometry.Vec3{Y: 1}}
+	if got := p.LineIntegral(alongY); math.Abs(got-4) > 1e-9 {
+		t.Errorf("chord along Y = %g, want 4 (rotated A axis)", got)
+	}
+}
+
+// Property: the analytic line integral matches numeric ray marching of
+// Density for random rays through a random two-ellipsoid phantom.
+func TestLineIntegralMatchesNumeric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ph := Phantom{}
+		for n := 0; n < 2; n++ {
+			ph.Ellipsoids = append(ph.Ellipsoids, Ellipsoid{
+				A: 1 + rng.Float64()*3, B: 1 + rng.Float64()*3, C: 1 + rng.Float64()*3,
+				X0: rng.Float64()*4 - 2, Y0: rng.Float64()*4 - 2, Z0: rng.Float64()*4 - 2,
+				Phi: rng.Float64() * math.Pi,
+				Rho: rng.Float64()*2 - 0.5,
+			})
+		}
+		dir := geometry.Vec3{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5, Z: rng.Float64() - 0.5}
+		if dir.Norm() < 1e-3 {
+			dir = geometry.Vec3{X: 1}
+		}
+		ray := geometry.Ray{
+			Origin: geometry.Vec3{X: -30 * dir.Normalize().X, Y: -30 * dir.Normalize().Y, Z: -30 * dir.Normalize().Z},
+			Dir:    dir.Normalize(),
+		}
+		analytic := ph.LineIntegral(ray)
+		const step = 1e-3
+		var numeric float64
+		for s := 0.0; s < 60; s += step {
+			p := ray.Origin.Add(ray.Dir.Scale(s + step/2))
+			numeric += ph.Density(p.X, p.Y, p.Z) * step
+		}
+		return math.Abs(analytic-numeric) < 2e-2*(1+math.Abs(analytic))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSheppLoganStructure(t *testing.T) {
+	p := SheppLogan3D(1)
+	if len(p.Ellipsoids) != 10 {
+		t.Fatalf("Shepp-Logan has %d ellipsoids", len(p.Ellipsoids))
+	}
+	// Inside the skull but outside the brain features, density is
+	// 1 - 0.8 = 0.2.
+	if got := p.Density(0, 0.6, 0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("brain tissue density = %g, want 0.2", got)
+	}
+	// Outside everything.
+	if got := p.Density(2, 0, 0); got != 0 {
+		t.Errorf("outside density = %g", got)
+	}
+	// The skull shell (between outer and inner ellipsoid) has density 1.
+	if got := p.Density(0, 0.9, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("skull density = %g, want 1", got)
+	}
+}
+
+func TestSheppLoganScales(t *testing.T) {
+	small := SheppLogan3D(1)
+	big := SheppLogan3D(50)
+	// Same density structure at scaled positions.
+	if small.Density(0.22, 0, 0) != big.Density(11, 0, 0) {
+		t.Error("scaled phantom density mismatch")
+	}
+}
+
+func TestVoxelize(t *testing.T) {
+	g := geometry.Default(64, 64, 30, 16, 16, 16)
+	ph := UniformSphere(g.FOVRadius()*0.5, 1)
+	vol := ph.Voxelize(g)
+	if vol.Nx != 16 || vol.Ny != 16 || vol.Nz != 16 {
+		t.Fatalf("voxelized size %dx%dx%d", vol.Nx, vol.Ny, vol.Nz)
+	}
+	// Centre voxel inside, corner voxel outside.
+	if vol.At(8, 8, 8) != 1 {
+		t.Errorf("centre voxel = %g", vol.At(8, 8, 8))
+	}
+	if vol.At(0, 0, 0) != 0 {
+		t.Errorf("corner voxel = %g", vol.At(0, 0, 0))
+	}
+}
+
+func TestIndustrialBlockDefects(t *testing.T) {
+	p := IndustrialBlock(10)
+	// The body is dense.
+	if got := p.Density(0, 3, 0); got < 1.9 {
+		t.Errorf("body density = %g", got)
+	}
+	// The first void has body minus void density ≈ 0.
+	if got := p.Density(4, 2, 2); math.Abs(got) > 1e-12 {
+		t.Errorf("void density = %g, want 0", got)
+	}
+	// The slag inclusion is denser than the body.
+	if got := p.Density(-2, 3.5, -3); got < 3 {
+		t.Errorf("inclusion density = %g", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package fft implements the fast Fourier transforms needed by the iFDK
+// filtering stage (Alg. 1 of the paper). The paper uses vendor FFT
+// primitives (Intel IPP on the CPU); the Go standard library has none, so
+// this package provides:
+//
+//   - an iterative radix-2 Cooley–Tukey transform with reusable plans for
+//     power-of-two lengths (the hot path: ramp-filter convolution rows are
+//     zero-padded to a power of two), and
+//   - a Bluestein chirp-z fallback for arbitrary lengths.
+//
+// Convolution helpers implement the Convolution Theorem path referenced in
+// Sec. 2.2.3: convolution in the spatial domain equals point-wise product in
+// the frequency domain.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches the twiddle factors and bit-reversal permutation for a fixed
+// power-of-two transform length. A Plan is safe for concurrent use because
+// all state is read-only after construction.
+type Plan struct {
+	n       int
+	logN    int
+	perm    []int32
+	twiddle []complex128 // forward twiddles: exp(-2πi k / n), k < n/2
+}
+
+// NewPlan builds a plan for length n, which must be a power of two ≥ 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: plan length %d is not a power of two", n)
+	}
+	p := &Plan{n: n, logN: bits.TrailingZeros(uint(n))}
+	p.perm = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(bits.Reverse32(uint32(i)) >> (32 - p.logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Rect(1, angle)
+	}
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place DFT of x (len(x) must equal the plan
+// length): X[k] = Σ x[j]·exp(-2πi jk/n).
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT including the 1/n scaling, so
+// Inverse(Forward(x)) == x up to rounding.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := 1 / float64(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), p.n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.perm {
+		if int32(i) < j {
+			x[i], x[int(j)] = x[int(j)], x[i]
+		}
+	}
+	// Iterative butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	if p.n == 1 {
+		return
+	}
+}
+
+// FFT computes the DFT of x, returning a new slice. Arbitrary lengths are
+// supported: powers of two use the radix-2 path, others use Bluestein.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transformAny(out, false)
+	return out
+}
+
+// IFFT computes the inverse DFT (with 1/n scaling), returning a new slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transformAny(out, true)
+	return out
+}
+
+func transformAny(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) == 0 {
+		p, _ := NewPlan(n)
+		if inverse {
+			p.Inverse(x)
+		} else {
+			p.Forward(x)
+		}
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressed as a circular convolution of power-of-two length ≥ 2n-1.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * πi k²/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Rect(1, angle)
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		if k > 0 {
+			b[m-k] = c
+		}
+	}
+	p, _ := NewPlan(m)
+	p.Forward(a)
+	p.Forward(b)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	p.Inverse(a)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		invN := complex(1/float64(n), 0)
+		for k := range x {
+			x[k] *= invN
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Convolve computes the full linear convolution of a and b
+// (len = len(a)+len(b)-1) using zero-padded FFTs.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	m := NextPow2(outLen)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	p, _ := NewPlan(m)
+	p.Forward(fa)
+	p.Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// RealSpectrum transforms a real kernel of length n (zero-padded to the plan
+// length) and returns its complex spectrum. Used to precompute the ramp
+// filter response once per detector width.
+func RealSpectrum(kernel []float64, p *Plan) []complex128 {
+	buf := make([]complex128, p.N())
+	for i, v := range kernel {
+		buf[i] = complex(v, 0)
+	}
+	p.Forward(buf)
+	return buf
+}

@@ -1,0 +1,85 @@
+package gpusim
+
+// Cache is a set-associative cache simulator with LRU replacement, used to
+// model the per-SM L1 data cache and the 2-D texture cache. Keys are
+// line/sector identifiers (already shifted by the line granularity).
+type Cache struct {
+	cfg    CacheConfig
+	sets   [][]int64 // per set: line keys in LRU order (front = most recent)
+	hits   int64
+	misses int64
+}
+
+// NewCache builds an empty cache.
+func NewCache(cfg CacheConfig) *Cache {
+	return &Cache{cfg: cfg, sets: make([][]int64, cfg.Sets())}
+}
+
+// Access touches the line with the given key and reports whether it hit.
+// The set index is derived from a spreading hash of the key: distinct
+// projection layers live at distinct base addresses in real memory, so
+// their lines must not alias onto the same sets.
+func (c *Cache) Access(key int64) bool {
+	h := uint64(key)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	set := int(h % uint64(len(c.sets)))
+	lines := c.sets[set]
+	for i, k := range lines {
+		if k == key {
+			// Move to front (LRU).
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = key
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(lines) < c.cfg.Ways {
+		lines = append(lines, 0)
+	}
+	copy(lines[1:], lines)
+	lines[0] = key
+	c.sets[set] = lines
+	return false
+}
+
+// Hits returns the number of hits so far.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// morton interleaves the low 16 bits of x and y — the block-linear address
+// mapping that gives the texture cache its 2-D locality.
+func morton(x, y int) int64 {
+	return int64(spread(x) | spread(y)<<1)
+}
+
+func spread(v int) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}

@@ -1,0 +1,126 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	if c.Access(5) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(5) {
+		t.Error("second access should hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %g", c.HitRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One set, 2 ways: keys mapping to the same set evict in LRU order.
+	c := NewCache(CacheConfig{SizeBytes: 64, LineBytes: 32, Ways: 2}) // 1 set
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 1 becomes MRU
+	c.Access(3) // evicts 2
+	if !c.Access(1) {
+		t.Error("1 should still be cached")
+	}
+	if c.Access(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestCacheFullyAssociativeRetention(t *testing.T) {
+	// A fully associative cache (one set) retains exactly Ways lines.
+	cfg := CacheConfig{SizeBytes: 256, LineBytes: 32, Ways: 8} // 1 set
+	c := NewCache(cfg)
+	for k := int64(0); k < 8; k++ {
+		c.Access(k)
+	}
+	for k := int64(0); k < 8; k++ {
+		if !c.Access(k) {
+			t.Errorf("key %d should still be resident", k)
+		}
+	}
+	c.Access(100) // evicts the LRU line (key 0)
+	if c.Access(0) {
+		t.Error("key 0 should have been evicted")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Ways: 4})
+	c.Access(1)
+	c.Access(1)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("counters survived Reset")
+	}
+	if c.Access(1) {
+		t.Error("contents survived Reset")
+	}
+	if c.HitRate() != 0 {
+		t.Error("hit rate before any access should be 0")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	// A working set comfortably below capacity mostly hits on re-walk
+	// (hashed set mapping makes per-set occupancy statistical, so demand
+	// near-perfect rather than perfect retention).
+	cfg := CacheConfig{SizeBytes: 64 << 10, LineBytes: 32, Ways: 4} // 2048 lines
+	c := NewCache(cfg)
+	const ws = 256
+	for k := int64(0); k < ws; k++ {
+		c.Access(k)
+	}
+	before := c.Hits()
+	for k := int64(0); k < ws; k++ {
+		c.Access(k)
+	}
+	hits := c.Hits() - before
+	if hits < ws*95/100 {
+		t.Errorf("re-walk hits = %d of %d, want ≥ 95%%", hits, ws)
+	}
+}
+
+func TestCacheSetsMinimumOne(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 16, LineBytes: 32, Ways: 4}
+	if cfg.Sets() != 1 {
+		t.Errorf("Sets() = %d, want 1", cfg.Sets())
+	}
+}
+
+// Property: morton is injective on the 16-bit grid and preserves 2-D
+// locality (adjacent tiles differ in few bits).
+func TestMortonInjectiveProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 uint16) bool {
+		a := morton(int(x1), int(y1))
+		b := morton(int(x2), int(y2))
+		if x1 == x2 && y1 == y2 {
+			return a == b
+		}
+		return a != b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonInterleaving(t *testing.T) {
+	if morton(1, 0) != 1 {
+		t.Errorf("morton(1,0) = %d", morton(1, 0))
+	}
+	if morton(0, 1) != 2 {
+		t.Errorf("morton(0,1) = %d", morton(0, 1))
+	}
+	if morton(3, 3) != 15 {
+		t.Errorf("morton(3,3) = %d", morton(3, 3))
+	}
+}

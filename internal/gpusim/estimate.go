@@ -1,0 +1,357 @@
+package gpusim
+
+import (
+	"math"
+
+	"ifdk/internal/ct/geometry"
+)
+
+// EstimateConfig controls the sampled access-stream simulation.
+type EstimateConfig struct {
+	// SampleWarps is the per-problem budget of simulated warps (default
+	// 384). Larger budgets tighten the cache-hit-rate estimate.
+	SampleWarps int
+	// BatchSamples is how many projection batches are sampled for angular
+	// diversity (default 4).
+	BatchSamples int
+}
+
+func (c EstimateConfig) withDefaults() EstimateConfig {
+	if c.SampleWarps <= 0 {
+		c.SampleWarps = 384
+	}
+	if c.BatchSamples <= 0 {
+		c.BatchSamples = 4
+	}
+	return c
+}
+
+// Report is the outcome of a kernel time estimate — one cell of Table 4.
+type Report struct {
+	Kernel    Kernel
+	Problem   geometry.Problem
+	Supported bool // false → the paper prints N/A
+
+	Updates        float64 // voxel updates Nx·Ny·Nz·Np
+	CoreOps        float64 // FP32 core-cycle equivalents
+	SectorAccesses float64 // 32-byte cache sector requests
+	TexSamples     float64 // bilinear texture samples (texture kernels)
+	DRAMBytes      float64 // bytes moved from device memory
+	CacheHitRate   float64 // projection-fetch hit rate (L1 or texture)
+
+	ComputeSeconds   float64 // FP32 pipeline roofline
+	MemSeconds       float64 // DRAM roofline
+	CacheSeconds     float64 // L1/texture throughput roofline
+	LaunchSeconds    float64 // kernel-launch overhead
+	TransposeSeconds float64 // projection transpose (Tran kernels)
+	KernelSeconds    float64 // max of rooflines + launch
+	TotalSeconds     float64 // kernel + transpose
+	GUPS             float64 // updates / total / 2^30
+}
+
+// Bound names the roofline that limits the kernel.
+func (r Report) Bound() string {
+	switch math.Max(r.ComputeSeconds, math.Max(r.MemSeconds, r.CacheSeconds)) {
+	case r.ComputeSeconds:
+		return "compute"
+	case r.MemSeconds:
+		return "dram"
+	default:
+		return "cache"
+	}
+}
+
+// Core-op costs (FP32 core-cycle equivalents): an FMA is 1, a reciprocal 4
+// (quarter-rate SFU), a shuffle 1 issue slot, a bilinear interpolation ~10
+// (fraction extraction, six lerp FMAs, address math).
+const (
+	opsDot4   = 4
+	opsRcp    = 4
+	opsInterp = 10
+)
+
+// Estimate predicts the kernel's Table-4 performance for the problem by
+// simulating a sample of warps: their core operations are counted and their
+// projection fetches are pushed through the modelled cache, then totals are
+// scaled to the full problem and converted to time with a three-term
+// roofline (FP32 pipeline, DRAM bandwidth, cache throughput) plus launch
+// and transpose overheads.
+func Estimate(dev Device, pr geometry.Problem, k Kernel, cfg EstimateConfig) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{Kernel: k, Problem: pr, Updates: pr.Updates()}
+	rep.Supported = k.SupportedOutput(pr.OutputBytes(), dev)
+	if !rep.Supported {
+		return rep
+	}
+	g := pr.Params()
+	ch := k.Characteristics()
+
+	var cache *Cache
+	switch {
+	case ch.TextureCache:
+		cache = NewCache(dev.Tex)
+	case ch.L1Cache:
+		cache = NewCache(dev.L1)
+	default:
+		cache = nil // Bp-L1: every coalesced sector goes to DRAM
+	}
+
+	w := &walker{dev: dev, g: g, ch: ch, cache: cache}
+	batches := (g.Np + NBatch - 1) / NBatch
+	batchStep := max(1, batches/cfg.BatchSamples)
+	warpsPerBatch := max(1, cfg.SampleWarps/min(cfg.BatchSamples, batches))
+	for b := 0; b < batches; b += batchStep {
+		s0 := b * NBatch
+		nb := min(NBatch, g.Np-s0)
+		w.sampleBatch(s0, nb, warpsPerBatch, k)
+	}
+
+	scale := rep.Updates / w.updates
+	rep.CoreOps = w.coreOps * scale
+	rep.SectorAccesses = w.sectors * scale
+	rep.TexSamples = w.samples * scale
+	missBytes := w.missBytes * scale
+	volBytes := w.volBytes * scale
+	rep.DRAMBytes = missBytes + volBytes
+	if cache != nil {
+		rep.CacheHitRate = cache.HitRate()
+	}
+
+	rep.ComputeSeconds = rep.CoreOps / (dev.FP32PerSecond() * dev.IssueEff)
+	rep.MemSeconds = rep.DRAMBytes / dev.DRAMBw
+	sectorRate := dev.UncachedSectorsPerCyc
+	switch {
+	case ch.TextureCache:
+		sectorRate = dev.TexSectorsPerCyc
+	case ch.L1Cache:
+		sectorRate = dev.L1SectorsPerCyc
+	}
+	rep.CacheSeconds = rep.SectorAccesses / (float64(dev.SMs) * sectorRate * dev.ClockHz)
+	// The texture unit also rate-limits whole bilinear samples (quads):
+	// the filtering hardware serializes, which caps the texture kernels
+	// near the paper's ~107–118 GUPS plateau.
+	if ch.TextureCache && dev.TexSamplesPerCyc > 0 {
+		sampleSeconds := rep.TexSamples / (float64(dev.SMs) * dev.TexSamplesPerCyc * dev.ClockHz)
+		if sampleSeconds > rep.CacheSeconds {
+			rep.CacheSeconds = sampleSeconds
+		}
+	}
+	rep.LaunchSeconds = float64(batches) * dev.LaunchOH
+	rep.KernelSeconds = math.Max(rep.ComputeSeconds, math.Max(rep.MemSeconds, rep.CacheSeconds)) + rep.LaunchSeconds
+	if ch.TransposeProj {
+		bytes := 2 * 4 * float64(g.Nu) * float64(g.Nv) * float64(g.Np)
+		rep.TransposeSeconds = bytes / dev.TransposeBw
+	}
+	rep.TotalSeconds = rep.KernelSeconds + rep.TransposeSeconds
+	rep.GUPS = rep.Updates / rep.TotalSeconds / (1 << 30)
+	return rep
+}
+
+// walker accumulates sampled-warp statistics.
+type walker struct {
+	dev   Device
+	g     geometry.Params
+	ch    Characteristics
+	cache *Cache
+
+	updates   float64
+	coreOps   float64
+	sectors   float64
+	samples   float64
+	missBytes float64
+	volBytes  float64
+
+	sectorBuf []int64
+}
+
+// sampleBatch simulates warps of one 32-projection kernel pass. Warps are
+// walked in grid order (contiguous columns) so neighbouring warps exercise
+// the cache the way neighbouring thread blocks do.
+func (w *walker) sampleBatch(s0, nb, budget int, k Kernel) {
+	g := w.g
+	mats := make([]geometry.ProjMat, nb)
+	for t := range mats {
+		mats[t] = geometry.ProjectionMatrix(g, g.Beta(s0+t))
+	}
+	if k == RTK32 {
+		w.sampleRTKWarps(mats, budget)
+		return
+	}
+	w.sampleShflWarps(mats, budget)
+}
+
+// sampleShflWarps walks shflBP warps: lanes along Z (lower half), one warp
+// per (i, j, zWarp). Sampling covers a few j rows and walks i contiguously.
+func (w *walker) sampleShflWarps(mats []geometry.ProjMat, budget int) {
+	g := w.g
+	nb := len(mats)
+	halfUp := (g.Nz + 1) / 2
+	lanes := min(32, halfUp)
+	jRows := min(4, g.Ny)
+	perRow := max(1, budget/jRows)
+	for jr := 0; jr < jRows; jr++ {
+		j := jr * g.Ny / jRows
+		n := min(perRow, g.Nx)
+		for i := 0; i < n; i++ {
+			w.shflWarp(mats, i, j, 0, lanes, nb)
+		}
+	}
+}
+
+func (w *walker) shflWarp(mats []geometry.ProjMat, i, j, zBase, lanes, nb int) {
+	g := w.g
+	fi, fj := float64(i), float64(j)
+	// Setup: each lane computes two inner products and a reciprocal.
+	w.coreOps += float64(lanes) * (2*opsDot4 + opsRcp + 1)
+	for s := 0; s < nb; s++ {
+		u, _, z := mats[s].Project(fi, fj, float64(zBase))
+		f := 1 / z
+		// Per lane per s: 2 shuffles + y dot + v mul + vsym + wdis +
+		// 2 interpolations + 2 mad.
+		w.coreOps += float64(lanes) * (2 + opsDot4 + 1 + 1 + 1 + 2*opsInterp + 2)
+		w.updates += float64(lanes) * 2
+		// Detector rows for the warp's lanes.
+		row1 := mats[s].Row(1)
+		vBase := (row1[0]*fi + row1[1]*fj + row1[2]*float64(zBase) + row1[3]) * f
+		vStep := row1[2] * f
+		// Two samples per lane: v and its mirror.
+		w.samples += float64(lanes) * 2
+		w.touchBilinear(s, u, vBase, vStep, lanes)
+		vSymBase := float64(g.Nv-1) - vBase
+		w.touchBilinear(s, u, vSymBase, -vStep, lanes)
+	}
+	// Volume traffic: read+write of both halves once per batch pass.
+	w.volBytes += float64(lanes) * 2 * 8
+}
+
+// sampleRTKWarps walks RTK-32 warps: lanes along X, one warp per
+// (xWarp, j, k) cell.
+func (w *walker) sampleRTKWarps(mats []geometry.ProjMat, budget int) {
+	g := w.g
+	nb := len(mats)
+	lanes := min(32, g.Nx)
+	kRows := min(4, g.Nz)
+	perRow := max(1, budget/kRows)
+	for kr := 0; kr < kRows; kr++ {
+		k := kr * g.Nz / kRows
+		n := min(perRow, g.Ny)
+		for j := 0; j < n; j++ {
+			w.rtkWarp(mats, j, k, lanes, nb)
+		}
+	}
+}
+
+func (w *walker) rtkWarp(mats []geometry.ProjMat, j, k, lanes, nb int) {
+	for s := 0; s < nb; s++ {
+		m := mats[s]
+		w.coreOps += float64(lanes) * (3*opsDot4 + opsRcp + 2 + 1 + opsInterp + 1)
+		w.updates += float64(lanes)
+		// u varies along the lanes (consecutive i), v nearly constant.
+		u0, v0, _ := m.Project(0, float64(j), float64(k))
+		u1, v1, _ := m.Project(float64(lanes-1), float64(j), float64(k))
+		uStep := (u1 - u0) / math.Max(1, float64(lanes-1))
+		vStep := (v1 - v0) / math.Max(1, float64(lanes-1))
+		w.samples += float64(lanes)
+		w.touchBilinear2D(s, u0, uStep, v0, vStep, lanes)
+	}
+	w.volBytes += float64(lanes) * 8
+}
+
+// touchBilinear records the sectors of a warp instruction where u is uniform
+// across lanes and v advances by vStep per lane (the shflBP pattern).
+func (w *walker) touchBilinear(s int, u, vBase, vStep float64, lanes int) {
+	w.sectorBuf = w.sectorBuf[:0]
+	iu := int(math.Floor(u))
+	for l := 0; l < lanes; l++ {
+		v := vBase + vStep*float64(l)
+		iv := int(math.Floor(v))
+		for du := 0; du <= 1; du++ {
+			for dv := 0; dv <= 1; dv++ {
+				w.addSector(s, iu+du, iv+dv)
+			}
+		}
+	}
+	w.flushSectors()
+}
+
+// touchBilinear2D records the sectors of a warp instruction where both u
+// and v advance per lane (the RTK pattern).
+func (w *walker) touchBilinear2D(s int, u0, uStep, v0, vStep float64, lanes int) {
+	w.sectorBuf = w.sectorBuf[:0]
+	for l := 0; l < lanes; l++ {
+		iu := int(math.Floor(u0 + uStep*float64(l)))
+		iv := int(math.Floor(v0 + vStep*float64(l)))
+		for du := 0; du <= 1; du++ {
+			for dv := 0; dv <= 1; dv++ {
+				w.addSector(s, iu+du, iv+dv)
+			}
+		}
+	}
+	w.flushSectors()
+}
+
+// addSector maps texel (u, v) of layer s to a cache sector key under the
+// kernel's memory path and stages it for coalescing.
+func (w *walker) addSector(s, u, v int) {
+	g := w.g
+	if u < 0 || v < 0 || u >= g.Nu || v >= g.Nv {
+		return // border texels come from the boundary handler, not memory
+	}
+	var key int64
+	switch {
+	case w.ch.TextureCache:
+		// Block-linear 4×2-texel sector tiles; after a transpose the
+		// texture is (Nv × Nu) so the tile axes swap with the layout.
+		if w.ch.TransposeProj {
+			key = morton(v>>2, u>>1)
+		} else {
+			key = morton(u>>2, v>>1)
+		}
+	default:
+		// Linear layout: 32-byte sectors of 8 consecutive texels.
+		var elem int
+		if w.ch.TransposeProj {
+			elem = u*g.Nv + v
+		} else {
+			elem = v*g.Nu + u
+		}
+		key = int64(elem >> 3)
+	}
+	key |= int64(s) << 40 // layer
+	w.sectorBuf = append(w.sectorBuf, key)
+}
+
+// flushSectors coalesces the staged lane requests and charges cache or
+// DRAM. Coalescing uses a bounded window of recently seen sectors — lane
+// requests are spatially ordered, so near-duplicates cluster; the window
+// mirrors the hardware's finite coalescing buffers. Duplicates that slip
+// past the window hit the cache anyway, so only the raw sector-access count
+// is slightly conservative.
+func (w *walker) flushSectors() {
+	const window = 8
+	var recent [window]int64
+	var filled, cursor int
+	for _, key := range w.sectorBuf {
+		dup := false
+		for m := 0; m < filled; m++ {
+			if recent[m] == key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		recent[cursor] = key
+		cursor = (cursor + 1) % window
+		if filled < window {
+			filled++
+		}
+		w.sectors++
+		if w.cache == nil {
+			w.missBytes += 32
+		} else if !w.cache.Access(key) {
+			w.missBytes += 32
+		}
+	}
+}

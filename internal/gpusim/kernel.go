@@ -1,0 +1,94 @@
+package gpusim
+
+import "fmt"
+
+// Kernel identifies one of the five back-projection CUDA kernels evaluated
+// in the paper's Tables 3 and 4.
+type Kernel int
+
+const (
+	// RTK32 is the production RTK kernel (kernel_fdk_3Dgrid) extended to
+	// 32-projection batches and 32-bit texture fetches: the standard
+	// algorithm (Alg. 2) with per-voxel threads and texture-cached
+	// projections.
+	RTK32 Kernel = iota
+	// BpTex is the proposed shflBP kernel fetching untransposed projections
+	// through the 2-D layered texture cache, volume stored k-major.
+	BpTex
+	// TexTran is shflBP with texture fetches on transposed projections.
+	TexTran
+	// BpL1 is shflBP reading transposed projections from global memory
+	// without any cache benefit (neither texture nor __ldg L1 hints).
+	BpL1
+	// L1Tran is shflBP reading transposed projections through the L1 cache
+	// (__ldg): the paper's best kernel.
+	L1Tran
+)
+
+// Kernels lists all five in Table-3 order.
+var Kernels = []Kernel{RTK32, BpTex, TexTran, BpL1, L1Tran}
+
+// String implements fmt.Stringer using the paper's names.
+func (k Kernel) String() string {
+	switch k {
+	case RTK32:
+		return "RTK-32"
+	case BpTex:
+		return "Bp-Tex"
+	case TexTran:
+		return "Tex-Tran"
+	case BpL1:
+		return "Bp-L1"
+	case L1Tran:
+		return "L1-Tran"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Characteristics reproduces the rows of Table 3.
+type Characteristics struct {
+	TextureCache  bool // projections fetched through the 2-D texture cache
+	L1Cache       bool // projections fetched through the L1 cache (__ldg)
+	TransposeProj bool // projections transposed before the kernel
+	TransposeVol  bool // volume stored in the transposed (k-major) layout
+}
+
+// Characteristics returns the Table-3 row for the kernel.
+func (k Kernel) Characteristics() Characteristics {
+	switch k {
+	case RTK32:
+		return Characteristics{TextureCache: true}
+	case BpTex:
+		return Characteristics{TextureCache: true, TransposeVol: true}
+	case TexTran:
+		return Characteristics{TextureCache: true, TransposeProj: true, TransposeVol: true}
+	case BpL1:
+		return Characteristics{TransposeProj: true, TransposeVol: true}
+	case L1Tran:
+		return Characteristics{L1Cache: true, TransposeProj: true, TransposeVol: true}
+	default:
+		return Characteristics{}
+	}
+}
+
+// Proposed reports whether the kernel uses the proposed shflBP algorithm
+// (Alg. 4 + warp shuffle); RTK-32 is the standard Alg. 2.
+func (k Kernel) Proposed() bool { return k != RTK32 }
+
+// NBatch is the number of projections processed per kernel pass
+// (Listing 1: `__constant float4 ProjMat[32][3]`).
+const NBatch = 32
+
+// rtkMaxOutputBytes is RTK's output-size ceiling: it keeps a dual volume
+// buffer, so on a 16 GB device the volume may not exceed 8 GB (Sec. 5.2).
+const rtkMaxOutputBytes = 8 << 30
+
+// SupportedOutput reports whether the kernel can generate an output volume
+// of the given byte size on the device (Table 4 prints N/A otherwise).
+func (k Kernel) SupportedOutput(outputBytes int64, dev Device) bool {
+	if k == RTK32 {
+		return outputBytes <= rtkMaxOutputBytes && 2*outputBytes < dev.MemBytes
+	}
+	return outputBytes < dev.MemBytes
+}

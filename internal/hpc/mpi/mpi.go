@@ -1,0 +1,526 @@
+// Package mpi provides an in-process message-passing runtime with MPI-like
+// semantics: ranks execute as goroutines, exchange copied messages through
+// matched (source, tag) mailboxes, and synchronize through collectives
+// implemented on top of point-to-point transfers (ring AllGather, binomial
+// Reduce/Bcast), so their cost structure matches the models in the paper's
+// Sec. 4.2.
+//
+// The paper drives iFDK with Intel MPI over InfiniBand; this package is the
+// substitution that lets the full framework — the 2-D rank grid, the column
+// AllGather of filtered projections and the row Reduce of sub-volumes
+// (Fig. 3) — run unmodified on one machine. Collective reduction orders are
+// fixed by the tree shape, so distributed results are deterministic for a
+// given communicator size.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAborted is returned by communication calls after any rank in the world
+// has failed; it prevents surviving ranks from deadlocking in collectives.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// envelope is an in-flight message.
+type envelope struct {
+	ctx  int64 // communicator context id
+	src  int   // global source rank
+	tag  int
+	data []float32
+}
+
+// mailbox holds undelivered messages for one global rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []envelope
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// world is the shared state behind all communicators of one Run.
+type world struct {
+	size      int
+	boxes     []*mailbox
+	nextCtx   atomic.Int64
+	aborted   atomic.Bool
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+
+	splitMu sync.Mutex
+	splits  map[string]*splitState
+}
+
+type splitState struct {
+	want    int
+	entries []splitEntry
+	done    bool
+	result  map[int]*commShared // global rank → new shared comm
+	cond    *sync.Cond
+}
+
+type splitEntry struct {
+	color, key, globalRank, commRank int
+}
+
+// commShared is the per-communicator state shared by all member handles.
+type commShared struct {
+	ctx    int64
+	w      *world
+	global []int // commRank → global rank
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	shared   *commShared
+	rank     int // rank within this communicator
+	splitSeq int // number of Splits this rank has performed on this comm
+}
+
+func newWorld(n int) *world {
+	w := &world{size: n, boxes: make([]*mailbox, n), splits: make(map[string]*splitState)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+func (w *world) newShared(global []int) *commShared {
+	s := &commShared{ctx: w.nextCtx.Add(1), w: w, global: global}
+	s.barrierCond = sync.NewCond(&s.barrierMu)
+	return s
+}
+
+func (w *world) abort() {
+	if w.aborted.Swap(true) {
+		return
+	}
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.aborted = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Run executes body on n ranks (goroutines) sharing a fresh world and
+// returns the combined errors of all ranks. A panicking rank is converted to
+// an error and aborts the world, releasing ranks blocked in communication.
+func Run(n int, body func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	w := newWorld(n)
+	global := make([]int, n)
+	for i := range global {
+		global[i] = i
+	}
+	shared := w.newShared(global)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					w.abort()
+				}
+			}()
+			errs[r] = body(&Comm{shared: shared, rank: r})
+			if errs[r] != nil {
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank returns this rank's id within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.shared.global) }
+
+// GlobalRank returns this rank's id in the world communicator.
+func (c *Comm) GlobalRank() int { return c.shared.global[c.rank] }
+
+// BytesSent returns the total payload bytes sent so far across the world —
+// a hook for validating the communication-volume terms of the performance
+// model.
+func (c *Comm) BytesSent() int64 { return c.shared.w.bytesSent.Load() }
+
+// MessagesSent returns the total number of messages sent across the world.
+func (c *Comm) MessagesSent() int64 { return c.shared.w.msgsSent.Load() }
+
+// Send delivers a copy of data to dst (a rank of this communicator) with
+// the given non-negative tag. Sends are buffered and never block.
+func (c *Comm) Send(dst, tag int, data []float32) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tags are reserved")
+	}
+	return c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float32) error {
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.Size())
+	}
+	if c.shared.w.aborted.Load() {
+		return ErrAborted
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	box := c.shared.w.boxes[c.shared.global[dst]]
+	box.mu.Lock()
+	box.queue = append(box.queue, envelope{ctx: c.shared.ctx, src: c.rank, tag: tag, data: cp})
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	c.shared.w.bytesSent.Add(int64(4 * len(data)))
+	c.shared.w.msgsSent.Add(1)
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) ([]float32, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tags are reserved")
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) ([]float32, error) {
+	if src < 0 || src >= c.Size() {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.Size())
+	}
+	box := c.shared.w.boxes[c.GlobalRank()]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, env := range box.queue {
+			if env.ctx == c.shared.ctx && env.src == src && env.tag == tag {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				return env.data, nil
+			}
+		}
+		if box.aborted {
+			return nil, ErrAborted
+		}
+		box.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() error {
+	s := c.shared
+	s.barrierMu.Lock()
+	defer s.barrierMu.Unlock()
+	gen := s.barrierGen
+	s.barrierCnt++
+	if s.barrierCnt == c.Size() {
+		s.barrierCnt = 0
+		s.barrierGen++
+		s.barrierCond.Broadcast()
+		return nil
+	}
+	for s.barrierGen == gen {
+		if s.w.aborted.Load() {
+			s.barrierCond.Broadcast()
+			return ErrAborted
+		}
+		s.barrierCond.Wait()
+	}
+	return nil
+}
+
+const (
+	tagBcast  = -2
+	tagGather = -3
+	tagAllG   = -4
+	tagReduce = -5
+)
+
+// Bcast distributes root's data to every rank: root passes the payload and
+// receives a copy of it; other ranks pass nil. A binomial tree is used, so
+// the critical path is log2(size) messages.
+func (c *Comm) Bcast(root int, data []float32) ([]float32, error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (c.rank - root + size) % size
+	var buf []float32
+	if vr == 0 {
+		buf = make([]float32, len(data))
+		copy(buf, data)
+	} else {
+		// Receive from the parent in the binomial tree.
+		mask := 1
+		for mask < size {
+			if vr&mask != 0 {
+				parent := (vr - mask + root) % size
+				got, err := c.recv(parent, tagBcast)
+				if err != nil {
+					return nil, err
+				}
+				buf = got
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < size {
+		if vr&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		child := vr | m
+		if child < size && child != vr {
+			if err := c.send((child+root)%size, tagBcast, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Gather collects each rank's data at root. Root receives size slices in
+// rank order; other ranks receive nil.
+func (c *Comm) Gather(root int, data []float32) ([][]float32, error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if c.rank != root {
+		return nil, c.send(root, tagGather, data)
+	}
+	out := make([][]float32, size)
+	own := make([]float32, len(data))
+	copy(own, data)
+	out[root] = own
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// AllGather gathers every rank's payload on every rank (rank order
+// preserved) with the ring algorithm: size-1 steps, each transferring one
+// block to the right neighbour. This is the collective used to share
+// filtered projections within a column group (Fig. 3b).
+func (c *Comm) AllGather(data []float32) ([][]float32, error) {
+	size := c.Size()
+	out := make([][]float32, size)
+	own := make([]float32, len(data))
+	copy(own, data)
+	out[c.rank] = own
+	if size == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (c.rank - step + size) % size
+		if err := c.send(right, tagAllG, out[sendIdx]); err != nil {
+			return nil, err
+		}
+		got, err := c.recv(left, tagAllG)
+		if err != nil {
+			return nil, err
+		}
+		out[(c.rank-step-1+size)%size] = got
+	}
+	return out, nil
+}
+
+// ReduceOp is a binary element-wise reduction operator.
+type ReduceOp int
+
+const (
+	// OpSum adds elements (the volume reduction of Fig. 4b).
+	OpSum ReduceOp = iota
+	// OpMax keeps the per-element maximum.
+	OpMax
+	// OpMin keeps the per-element minimum.
+	OpMin
+)
+
+func (op ReduceOp) apply(acc, in []float32) error {
+	if len(acc) != len(in) {
+		return fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(acc), len(in))
+	}
+	switch op {
+	case OpSum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case OpMax:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpMin:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	default:
+		return fmt.Errorf("mpi: unknown reduce op %d", op)
+	}
+	return nil
+}
+
+// Reduce combines all ranks' equally sized payloads element-wise at root
+// using a binomial tree (log2(size) combining steps on the critical path,
+// matching the cost model of Eq. 15). Root receives the result; other ranks
+// receive nil. The combine order is fixed by the tree, so results are
+// deterministic.
+func (c *Comm) Reduce(root int, data []float32, op ReduceOp) ([]float32, error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	vr := (c.rank - root + size) % size
+	acc := make([]float32, len(data))
+	copy(acc, data)
+	for mask := 1; mask < size; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % size
+			return nil, c.send(parent, tagReduce, acc)
+		}
+		peer := vr | mask
+		if peer < size {
+			got, err := c.recv((peer+root)%size, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			if err := op.apply(acc, got); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if vr == 0 {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// AllReduce combines payloads on every rank (Reduce to rank 0 + Bcast).
+func (c *Comm) AllReduce(data []float32, op ReduceOp) ([]float32, error) {
+	acc, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, acc)
+}
+
+// Split partitions the communicator: ranks passing the same color form a
+// new communicator, ordered by (key, rank). Every rank of the parent must
+// call Split. iFDK uses two splits to build the R×C grid: one by row index,
+// one by column index (Sec. 4.1.1).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if c.shared.w.aborted.Load() {
+		return nil, ErrAborted
+	}
+	w := c.shared.w
+	// Key by communicator and per-rank split sequence number: MPI requires
+	// all ranks to call collectives in the same order, so the n-th Split on
+	// a communicator forms one matching set even when ranks overlap in time.
+	stateKey := fmt.Sprintf("%d:%d", c.shared.ctx, c.splitSeq)
+	c.splitSeq++
+	w.splitMu.Lock()
+	st, ok := w.splits[stateKey]
+	if !ok {
+		st = &splitState{want: c.Size()}
+		st.cond = sync.NewCond(&w.splitMu)
+		w.splits[stateKey] = st
+	}
+	st.entries = append(st.entries, splitEntry{color: color, key: key, globalRank: c.GlobalRank(), commRank: c.rank})
+	if len(st.entries) == st.want {
+		// Last arrival builds all sub-communicators.
+		st.result = make(map[int]*commShared)
+		groups := map[int][]splitEntry{}
+		for _, e := range st.entries {
+			groups[e.color] = append(groups[e.color], e)
+		}
+		colors := make([]int, 0, len(groups))
+		for col := range groups {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			g := groups[col]
+			sort.Slice(g, func(a, b int) bool {
+				if g[a].key != g[b].key {
+					return g[a].key < g[b].key
+				}
+				return g[a].commRank < g[b].commRank
+			})
+			global := make([]int, len(g))
+			for i, e := range g {
+				global[i] = e.globalRank
+			}
+			shared := w.newShared(global)
+			for _, e := range g {
+				st.result[e.globalRank] = shared
+			}
+		}
+		st.done = true
+		// Reset for the next Split on this parent communicator.
+		delete(w.splits, stateKey)
+		st.cond.Broadcast()
+	} else {
+		for !st.done {
+			if w.aborted.Load() {
+				st.cond.Broadcast()
+				w.splitMu.Unlock()
+				return nil, ErrAborted
+			}
+			st.cond.Wait()
+		}
+	}
+	shared := st.result[c.GlobalRank()]
+	w.splitMu.Unlock()
+	if shared == nil {
+		return nil, fmt.Errorf("mpi: split produced no group for rank %d", c.rank)
+	}
+	newRank := -1
+	for i, g := range shared.global {
+		if g == c.GlobalRank() {
+			newRank = i
+			break
+		}
+	}
+	return &Comm{shared: shared, rank: newRank}, nil
+}

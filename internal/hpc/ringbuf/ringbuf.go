@@ -1,0 +1,135 @@
+// Package ringbuf implements the bounded, blocking circular buffer that
+// connects the three pipeline threads inside each iFDK rank (Fig. 4a of the
+// paper: Filtering-thread → Main-thread → Bp-thread exchange data via two
+// "queue-buffers").
+//
+// The buffer is a classic fixed-capacity ring guarded by a mutex and two
+// condition variables. Put blocks while the ring is full, Get blocks while
+// it is empty, and Close releases all waiters: pending items can still be
+// drained, after which Get reports !ok.
+package ringbuf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ring is a bounded FIFO queue safe for concurrent producers and consumers.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int // index of the oldest element
+	n        int // number of stored elements
+	closed   bool
+}
+
+// New creates a ring with the given capacity (must be > 0).
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ringbuf: invalid capacity %d", capacity))
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current number of buffered elements.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Put appends v, blocking while the ring is full. It returns false when the
+// ring has been closed (the value is dropped).
+func (r *Ring[T]) Put(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.notEmpty.Signal()
+	return true
+}
+
+// TryPut appends v without blocking; it reports whether the value was
+// stored.
+func (r *Ring[T]) TryPut(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.notEmpty.Signal()
+	return true
+}
+
+// Get removes and returns the oldest element, blocking while the ring is
+// empty. After Close, buffered elements are still returned; once drained
+// Get returns the zero value and false.
+func (r *Ring[T]) Get() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.popLocked(), true
+}
+
+// TryGet removes the oldest element without blocking.
+func (r *Ring[T]) TryGet() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.popLocked(), true
+}
+
+func (r *Ring[T]) popLocked() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references for the garbage collector
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.notFull.Signal()
+	return v
+}
+
+// Close marks the ring closed. Blocked producers return false; consumers
+// drain the remaining elements and then observe !ok. Close is idempotent.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring[T]) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}

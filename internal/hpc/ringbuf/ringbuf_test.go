@@ -1,0 +1,200 @@
+package ringbuf
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.Put(i) {
+			t.Fatalf("Put(%d) failed", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestTryPutTryGet(t *testing.T) {
+	r := New[string](1)
+	if ok := r.TryPut("a"); !ok {
+		t.Fatal("TryPut on empty ring failed")
+	}
+	if ok := r.TryPut("b"); ok {
+		t.Fatal("TryPut on full ring succeeded")
+	}
+	v, ok := r.TryGet()
+	if !ok || v != "a" {
+		t.Fatalf("TryGet = %q,%v", v, ok)
+	}
+	if _, ok := r.TryGet(); ok {
+		t.Fatal("TryGet on empty ring succeeded")
+	}
+}
+
+func TestBlockingPut(t *testing.T) {
+	r := New[int](1)
+	r.Put(1)
+	done := make(chan bool)
+	go func() {
+		done <- r.Put(2) // must block until a Get frees a slot
+	}()
+	select {
+	case <-done:
+		t.Fatal("Put returned while ring was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := r.Get(); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if ok := <-done; !ok {
+		t.Fatal("blocked Put should have succeeded")
+	}
+	if v, ok := r.Get(); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	r := New[int](4)
+	r.Put(1)
+	r.Put(2)
+	r.Close()
+	if r.Put(3) {
+		t.Error("Put after Close should fail")
+	}
+	if v, ok := r.Get(); !ok || v != 1 {
+		t.Errorf("drain Get = %d,%v", v, ok)
+	}
+	if v, ok := r.Get(); !ok || v != 2 {
+		t.Errorf("drain Get = %d,%v", v, ok)
+	}
+	if _, ok := r.Get(); ok {
+		t.Error("Get after drain should report !ok")
+	}
+	r.Close() // idempotent
+	if !r.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+func TestCloseWakesBlockedConsumer(t *testing.T) {
+	r := New[int](1)
+	done := make(chan bool)
+	go func() {
+		_, ok := r.Get()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Get on closed empty ring should report !ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake consumer")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer = 4, 500
+	r := New[int](8)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.Put(p*perProducer + i)
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := r.Get()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate value %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Close()
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Errorf("received %d of %d values", len(seen), producers*perProducer)
+	}
+}
+
+// Property: for any sequence of puts within capacity, gets return the same
+// sequence (FIFO invariant).
+func TestFIFOProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := New[int16](len(vals))
+		for _, v := range vals {
+			if !r.Put(v) {
+				return false
+			}
+		}
+		if r.Len() != len(vals) {
+			return false
+		}
+		for _, want := range vals {
+			got, ok := r.Get()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			r.Put(round*3 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Get()
+			if !ok || v != round*3+i {
+				t.Fatalf("round %d: Get = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New[int](0)
+}

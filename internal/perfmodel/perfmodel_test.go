@@ -1,0 +1,163 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"ifdk/internal/ct/geometry"
+)
+
+func fourK() geometry.Problem {
+	return geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 4096, Ny: 4096, Nz: 4096}
+}
+
+func eightK() geometry.Problem {
+	return geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 8192, Ny: 8192, Nz: 8192}
+}
+
+func TestABCIValid(t *testing.T) {
+	if err := ABCI().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConstants(t *testing.T) {
+	mb := ABCI()
+	mb.BWStore = 0
+	if err := mb.Validate(); err == nil {
+		t.Error("zero store bandwidth accepted")
+	}
+	mb = ABCI()
+	mb.PCIeContention = 1.5
+	if err := mb.Validate(); err == nil {
+		t.Error("contention > 1 accepted")
+	}
+}
+
+func TestPredictRejectsBadGrid(t *testing.T) {
+	if _, err := Predict(fourK(), 0, 4, ABCI()); err == nil {
+		t.Error("R = 0 accepted")
+	}
+}
+
+// Sec. 5.3.3 calibration points: storing 256 GB at 28.5 GB/s ≈ 9.0 s;
+// storing 2 TB ≈ 77–88 s; D2H of 4×8 GB over dual PCIe ≈ 2.6 s;
+// reducing 8 GB ≈ 2.7 s.
+func TestPaperCalibrationPoints(t *testing.T) {
+	mb := ABCI()
+	t4k, err := Predict(fourK(), 32, 4, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper quotes 9.0s for "256 GB"; 4·4096³ bytes is 256 GiB, hence
+	// the ≈7% difference.
+	if math.Abs(t4k.Store-9.0) > 0.75 {
+		t.Errorf("4K store = %gs, paper ≈ 9.0s", t4k.Store)
+	}
+	if math.Abs(t4k.D2H-2.6) > 0.5 {
+		t.Errorf("4K D2H = %gs, paper ≈ 2.6s", t4k.D2H)
+	}
+	if math.Abs(t4k.Reduce-2.7) > 0.4 {
+		t.Errorf("4K reduce = %gs, paper ≈ 2.7s", t4k.Reduce)
+	}
+	t8k, err := Predict(eightK(), 256, 8, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8k.Store < 70 || t8k.Store > 90 {
+		t.Errorf("8K store = %gs, paper ≈ 77–88s", t8k.Store)
+	}
+}
+
+// Fig. 5a theoretical series: Tcompute halves as C doubles (R fixed at 32).
+func TestStrongScalingCompute(t *testing.T) {
+	mb := ABCI()
+	prev := math.Inf(1)
+	for _, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+		tm, err := Predict(fourK(), 32, c, mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.Compute >= prev {
+			t.Errorf("C=%d: compute %g did not decrease (prev %g)", c, tm.Compute, prev)
+		}
+		prev = tm.Compute
+	}
+}
+
+// Table 5 shape at 32 GPUs (R=32, C=1): Tbp ≈ 54.8 s dominates and
+// TAllGather ≈ 31.4 s; our model should land in the same regime.
+func TestTable5Anchor(t *testing.T) {
+	tm, err := Predict(fourK(), 32, 1, ABCI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Bp < 35 || tm.Bp > 80 {
+		t.Errorf("Tbp = %g, paper ≈ 54.8", tm.Bp)
+	}
+	if tm.AllGather < 20 || tm.AllGather > 45 {
+		t.Errorf("TAllGather = %g, paper ≈ 31.4", tm.AllGather)
+	}
+	if tm.AllGather >= tm.Bp {
+		t.Error("observation (ii) of Sec. 5.3.5: TAllGather < Tbp")
+	}
+	if tm.Compute != tm.Bp {
+		t.Error("at 32 GPUs the back-projection dominates Tcompute")
+	}
+}
+
+// Post time is independent of C (Eq. 18) and Reduce vanishes at C = 1.
+func TestPostIndependentOfC(t *testing.T) {
+	mb := ABCI()
+	t1, _ := Predict(fourK(), 32, 1, mb)
+	t4, _ := Predict(fourK(), 32, 4, mb)
+	if t1.Reduce != 0 {
+		t.Error("reduce should be zero for C = 1")
+	}
+	if t4.Reduce <= 0 {
+		t.Error("reduce should be positive for C > 1")
+	}
+	if math.Abs(t1.Store-t4.Store) > 1e-9 || math.Abs(t1.D2H-t4.D2H) > 1e-9 {
+		t.Error("store/D2H should not depend on C")
+	}
+}
+
+// The AllGather ring cost grows with R for a fixed GPU count — the
+// pressure that motivates minimizing R (Sec. 4.1.5 point III).
+func TestAllGatherGrowsWithR(t *testing.T) {
+	mb := ABCI()
+	small, _ := Predict(eightK(), 32, 64, mb)
+	big, _ := Predict(eightK(), 256, 8, mb)
+	if big.AllGather <= small.AllGather {
+		t.Errorf("AllGather should grow with R: R=256 %g vs R=32 %g", big.AllGather, small.AllGather)
+	}
+}
+
+func TestTHBpProj(t *testing.T) {
+	mb := ABCI()
+	// 200 GUPS on a 2 Gi-voxel sub-volume = 100 projections/s.
+	got := mb.THBpProj(2 * (1 << 30))
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("THBpProj = %g, want 100", got)
+	}
+}
+
+func TestRuntimeComposition(t *testing.T) {
+	tm, err := Predict(fourK(), 32, 16, ABCI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.Runtime-(tm.Compute+tm.Post)) > 1e-12 {
+		t.Error("Eq. 19 violated")
+	}
+	wantPost := tm.Trans + tm.D2H + tm.Reduce + tm.Store
+	if math.Abs(tm.Post-wantPost) > 1e-12 {
+		t.Error("Eq. 18 violated")
+	}
+	if tm.Compute < tm.Load || tm.Compute < tm.Flt || tm.Compute < tm.AllGather || tm.Compute < tm.Bp {
+		t.Error("Eq. 17 violated")
+	}
+	if g := tm.GUPS(fourK()); g <= 0 {
+		t.Errorf("GUPS = %g", g)
+	}
+}

@@ -1,0 +1,150 @@
+package simcluster
+
+import (
+	"testing"
+
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/perfmodel"
+)
+
+func fourK() geometry.Problem {
+	return geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 4096, Ny: 4096, Nz: 4096}
+}
+
+func eightK() geometry.Problem {
+	return geometry.Problem{Nu: 2048, Nv: 2048, Np: 4096, Nx: 8192, Ny: 8192, Nz: 8192}
+}
+
+func sim(t *testing.T, pr geometry.Problem, r, c int) Result {
+	t.Helper()
+	res, err := Simulate(Config{Problem: pr, R: r, C: c, MB: perfmodel.ABCI()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Config{Problem: fourK(), R: 0, C: 1, MB: perfmodel.ABCI()}); err == nil {
+		t.Error("R = 0 accepted")
+	}
+	if _, err := Simulate(Config{Problem: fourK(), R: 3, C: 7, MB: perfmodel.ABCI()}); err == nil {
+		t.Error("non-divisible Np accepted")
+	}
+}
+
+// Headline claim 1 (abstract): the 4K problem solves within 30 seconds on
+// 2,048 GPUs, including I/O.
+func TestFourKUnder30Seconds(t *testing.T) {
+	res := sim(t, fourK(), 32, 64)
+	if res.SimTotal >= 30 {
+		t.Errorf("4K on 2048 GPUs = %.1fs, paper: < 30s", res.SimTotal)
+	}
+	if res.SimTotal < 10 {
+		t.Errorf("4K on 2048 GPUs = %.1fs suspiciously fast (paper ≈ 18–20s)", res.SimTotal)
+	}
+}
+
+// Headline claim 2: the 8K problem solves within 2 minutes on 2,048 GPUs.
+func TestEightKUnder2Minutes(t *testing.T) {
+	res := sim(t, eightK(), 256, 8)
+	if res.SimTotal >= 120 {
+		t.Errorf("8K on 2048 GPUs = %.1fs, paper: < 120s", res.SimTotal)
+	}
+	if res.SimTotal < 60 {
+		t.Errorf("8K on 2048 GPUs = %.1fs suspiciously fast (paper ≈ 100–110s)", res.SimTotal)
+	}
+}
+
+// Table 5: the pipeline gain δ lies in (1, 2] across the strong-scaling
+// configurations — overlap helps but cannot exceed the 3-stage bound.
+func TestDeltaRange(t *testing.T) {
+	for _, cfg := range []struct{ r, c int }{{32, 1}, {32, 2}, {32, 4}, {32, 8}, {256, 1}, {256, 4}} {
+		pr := fourK()
+		if cfg.r == 256 {
+			pr = eightK()
+		}
+		res := sim(t, pr, cfg.r, cfg.c)
+		if res.Delta <= 1.0 || res.Delta > 2.5 {
+			t.Errorf("R=%d C=%d: δ = %.2f outside (1, 2.5]", cfg.r, cfg.c, res.Delta)
+		}
+	}
+}
+
+// Fig. 5a: strong scaling — SimCompute shrinks with more GPUs while the
+// post phase stays constant.
+func TestStrongScalingShape(t *testing.T) {
+	var prev Result
+	for n, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+		res := sim(t, fourK(), 32, c)
+		if n > 0 {
+			if res.SimCompute >= prev.SimCompute {
+				t.Errorf("C=%d: compute did not shrink (%g vs %g)", c, res.SimCompute, prev.SimCompute)
+			}
+			diff := res.SimStore - prev.SimStore
+			if diff < -1e-9 || diff > 1e-9 {
+				t.Errorf("C=%d: store changed under strong scaling", c)
+			}
+		}
+		prev = res
+	}
+}
+
+// Fig. 5c: weak scaling — Np grows with the GPU count, so the per-GPU
+// compute stays nearly flat.
+func TestWeakScalingShape(t *testing.T) {
+	var first float64
+	for n, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+		pr := fourK()
+		pr.Np = 16 * 32 * c // Np = 16·Ngpus as in Fig. 5c
+		res := sim(t, pr, 32, c)
+		if n == 0 {
+			first = res.SimCompute
+			continue
+		}
+		ratio := res.SimCompute / first
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("C=%d: weak-scaling compute drifted %.2fx from baseline", c, ratio)
+		}
+	}
+}
+
+// Fig. 6: end-to-end GUPS grows with the GPU count and the 8K output
+// scales further than 4K (better device utilization, Sec. 5.3.3).
+func TestGUPSScaling(t *testing.T) {
+	g256 := sim(t, fourK(), 32, 8)
+	g2048 := sim(t, fourK(), 32, 64)
+	if g2048.GUPS <= g256.GUPS {
+		t.Errorf("GUPS did not scale: %g at 256 vs %g at 2048", g256.GUPS, g2048.GUPS)
+	}
+	e2048 := sim(t, eightK(), 256, 8)
+	if e2048.GUPS <= g2048.GUPS {
+		t.Errorf("8K (%g) should out-scale 4K (%g) at 2048 GPUs", e2048.GUPS, g2048.GUPS)
+	}
+}
+
+// The simulated "measured" time must exceed the model's potential peak
+// (the paper achieves ≈76% of peak on average).
+func TestSimSlowerThanModel(t *testing.T) {
+	for _, c := range []int{1, 4, 16, 64} {
+		res := sim(t, fourK(), 32, c)
+		if res.SimTotal <= res.Model.Runtime {
+			t.Errorf("C=%d: simulated %.1fs faster than model peak %.1fs", c, res.SimTotal, res.Model.Runtime)
+		}
+		eff := res.Model.Runtime / res.SimTotal
+		if eff < 0.5 || eff > 0.99 {
+			t.Errorf("C=%d: model efficiency %.2f outside [0.5, 0.99]", c, eff)
+		}
+	}
+}
+
+// Busy times must match the components the paper reports in Table 5:
+// δ · Tcompute = Tflt + TAllGather + Tbp by definition.
+func TestDeltaDefinition(t *testing.T) {
+	res := sim(t, fourK(), 32, 4)
+	lhs := res.Delta * res.SimCompute
+	rhs := res.SimFlt + res.SimAllGather + res.SimBp
+	if diff := lhs - rhs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("δ definition violated: %g vs %g", lhs, rhs)
+	}
+}

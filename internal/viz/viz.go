@@ -1,0 +1,120 @@
+// Package viz provides lightweight volume visualization — the second of
+// the paper's future-work items (Sec. 8) and the stand-in for the ImageJ
+// inspection step of its measurement methodology (Sec. 5.1): maximum
+// intensity projections and slice contact sheets, renderable to PNG via
+// volume.Image.
+package viz
+
+import (
+	"fmt"
+
+	"ifdk/internal/volume"
+)
+
+// Axis selects a projection direction.
+type Axis int
+
+const (
+	// AxisX projects along i, producing an Ny×Nz image.
+	AxisX Axis = iota
+	// AxisY projects along j, producing an Nx×Nz image.
+	AxisY
+	// AxisZ projects along k, producing an Nx×Ny image.
+	AxisZ
+)
+
+// MIP computes the maximum-intensity projection of the volume along the
+// axis — the standard quick-look rendering for CT volumes.
+func MIP(vol *volume.Volume, axis Axis) (*volume.Image, error) {
+	switch axis {
+	case AxisZ:
+		img := volume.NewImage(vol.Nx, vol.Ny)
+		for j := 0; j < vol.Ny; j++ {
+			for i := 0; i < vol.Nx; i++ {
+				best := vol.At(i, j, 0)
+				for k := 1; k < vol.Nz; k++ {
+					if v := vol.At(i, j, k); v > best {
+						best = v
+					}
+				}
+				img.Set(i, j, best)
+			}
+		}
+		return img, nil
+	case AxisY:
+		img := volume.NewImage(vol.Nx, vol.Nz)
+		for k := 0; k < vol.Nz; k++ {
+			for i := 0; i < vol.Nx; i++ {
+				best := vol.At(i, 0, k)
+				for j := 1; j < vol.Ny; j++ {
+					if v := vol.At(i, j, k); v > best {
+						best = v
+					}
+				}
+				img.Set(i, k, best)
+			}
+		}
+		return img, nil
+	case AxisX:
+		img := volume.NewImage(vol.Ny, vol.Nz)
+		for k := 0; k < vol.Nz; k++ {
+			for j := 0; j < vol.Ny; j++ {
+				best := vol.At(0, j, k)
+				for i := 1; i < vol.Nx; i++ {
+					if v := vol.At(i, j, k); v > best {
+						best = v
+					}
+				}
+				img.Set(j, k, best)
+			}
+		}
+		return img, nil
+	default:
+		return nil, fmt.Errorf("viz: unknown axis %d", axis)
+	}
+}
+
+// ContactSheet tiles every stride-th axial slice into a cols-wide mosaic —
+// the classic radiology overview sheet.
+func ContactSheet(vol *volume.Volume, cols, stride int) (*volume.Image, error) {
+	if cols <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("viz: cols %d and stride %d must be positive", cols, stride)
+	}
+	n := (vol.Nz + stride - 1) / stride
+	rows := (n + cols - 1) / cols
+	sheet := volume.NewImage(cols*vol.Nx, rows*vol.Ny)
+	tile := 0
+	for k := 0; k < vol.Nz; k += stride {
+		slice := vol.SliceZ(k)
+		ox := (tile % cols) * vol.Nx
+		oy := (tile / cols) * vol.Ny
+		for j := 0; j < vol.Ny; j++ {
+			for i := 0; i < vol.Nx; i++ {
+				sheet.Set(ox+i, oy+j, slice.At(i, j))
+			}
+		}
+		tile++
+	}
+	return sheet, nil
+}
+
+// Orthogonal returns the three centre planes (axial, coronal, sagittal) —
+// the standard tri-planar view.
+func Orthogonal(vol *volume.Volume) (axial, coronal, sagittal *volume.Image) {
+	axial = vol.SliceZ(vol.Nz / 2)
+	coronal = volume.NewImage(vol.Nx, vol.Nz)
+	j := vol.Ny / 2
+	for k := 0; k < vol.Nz; k++ {
+		for i := 0; i < vol.Nx; i++ {
+			coronal.Set(i, k, vol.At(i, j, k))
+		}
+	}
+	sagittal = volume.NewImage(vol.Ny, vol.Nz)
+	i := vol.Nx / 2
+	for k := 0; k < vol.Nz; k++ {
+		for j := 0; j < vol.Ny; j++ {
+			sagittal.Set(j, k, vol.At(i, j, k))
+		}
+	}
+	return axial, coronal, sagittal
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"testing"
+
+	"ifdk/internal/volume"
+)
+
+func testVol() *volume.Volume {
+	vol := volume.New(4, 3, 2, volume.IMajor)
+	// Voxel values encode their coordinates so projections are checkable.
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 4; i++ {
+				vol.Set(i, j, k, float32(100*k+10*j+i))
+			}
+		}
+	}
+	return vol
+}
+
+func TestMIPAxisZ(t *testing.T) {
+	img, err := MIP(testVol(), AxisZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 4 || img.H != 3 {
+		t.Fatalf("size %dx%d", img.W, img.H)
+	}
+	// Max along k is always the k=1 plane.
+	if img.At(2, 1) != 112 {
+		t.Errorf("MIP(2,1) = %g, want 112", img.At(2, 1))
+	}
+}
+
+func TestMIPAxisY(t *testing.T) {
+	img, err := MIP(testVol(), AxisY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 4 || img.H != 2 {
+		t.Fatalf("size %dx%d", img.W, img.H)
+	}
+	// Max along j is j=2.
+	if img.At(3, 1) != 123 {
+		t.Errorf("MIP(3,1) = %g, want 123", img.At(3, 1))
+	}
+}
+
+func TestMIPAxisX(t *testing.T) {
+	img, err := MIP(testVol(), AxisX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 3 || img.H != 2 {
+		t.Fatalf("size %dx%d", img.W, img.H)
+	}
+	// Max along i is i=3.
+	if img.At(0, 0) != 3 {
+		t.Errorf("MIP(0,0) = %g, want 3", img.At(0, 0))
+	}
+	if _, err := MIP(testVol(), Axis(9)); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}
+
+func TestContactSheet(t *testing.T) {
+	vol := volume.New(4, 3, 6, volume.IMajor)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 4; i++ {
+				vol.Set(i, j, k, float32(k))
+			}
+		}
+	}
+	sheet, err := ContactSheet(vol, 2, 2) // slices 0, 2, 4 → 2 cols, 2 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sheet.W != 8 || sheet.H != 6 {
+		t.Fatalf("sheet size %dx%d", sheet.W, sheet.H)
+	}
+	// Tile 0 = slice 0, tile 1 = slice 2, tile 2 = slice 4.
+	if sheet.At(0, 0) != 0 || sheet.At(4, 0) != 2 || sheet.At(0, 3) != 4 {
+		t.Errorf("tiles wrong: %g %g %g", sheet.At(0, 0), sheet.At(4, 0), sheet.At(0, 3))
+	}
+	if _, err := ContactSheet(vol, 0, 1); err == nil {
+		t.Error("zero cols accepted")
+	}
+}
+
+func TestOrthogonal(t *testing.T) {
+	vol := testVol()
+	axial, coronal, sagittal := Orthogonal(vol)
+	if axial.W != 4 || axial.H != 3 {
+		t.Errorf("axial %dx%d", axial.W, axial.H)
+	}
+	if coronal.W != 4 || coronal.H != 2 {
+		t.Errorf("coronal %dx%d", coronal.W, coronal.H)
+	}
+	if sagittal.W != 3 || sagittal.H != 2 {
+		t.Errorf("sagittal %dx%d", sagittal.W, sagittal.H)
+	}
+	// Centre planes: k=1, j=1, i=2.
+	if axial.At(1, 2) != 121 {
+		t.Errorf("axial(1,2) = %g", axial.At(1, 2))
+	}
+	if coronal.At(1, 0) != 11 {
+		t.Errorf("coronal(1,0) = %g", coronal.At(1, 0))
+	}
+	if sagittal.At(1, 1) != 112 {
+		t.Errorf("sagittal(1,1) = %g", sagittal.At(1, 1))
+	}
+}

@@ -1,0 +1,58 @@
+package volume
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float32sToBytes serializes a float32 slice to little-endian bytes. It is
+// used when projections and volume slices cross the (simulated) parallel
+// file system or the wire.
+func Float32sToBytes(src []float32) []byte {
+	out := make([]byte, 4*len(src))
+	for n, x := range src {
+		binary.LittleEndian.PutUint32(out[4*n:], math.Float32bits(x))
+	}
+	return out
+}
+
+// BytesToFloat32s deserializes little-endian bytes into float32 values.
+func BytesToFloat32s(src []byte) ([]float32, error) {
+	if len(src)%4 != 0 {
+		return nil, fmt.Errorf("volume: byte length %d is not a multiple of 4", len(src))
+	}
+	out := make([]float32, len(src)/4)
+	for n := range out {
+		out[n] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*n:]))
+	}
+	return out, nil
+}
+
+// ImageToBytes serializes an image header (W, H as uint32) plus payload.
+func ImageToBytes(m *Image) []byte {
+	out := make([]byte, 8+4*len(m.Data))
+	binary.LittleEndian.PutUint32(out[0:], uint32(m.W))
+	binary.LittleEndian.PutUint32(out[4:], uint32(m.H))
+	for n, x := range m.Data {
+		binary.LittleEndian.PutUint32(out[8+4*n:], math.Float32bits(x))
+	}
+	return out
+}
+
+// ImageFromBytes reverses ImageToBytes.
+func ImageFromBytes(src []byte) (*Image, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("volume: image blob too short (%d bytes)", len(src))
+	}
+	w := int(binary.LittleEndian.Uint32(src[0:]))
+	h := int(binary.LittleEndian.Uint32(src[4:]))
+	if w <= 0 || h <= 0 || len(src) != 8+4*w*h {
+		return nil, fmt.Errorf("volume: image blob header %dx%d inconsistent with %d bytes", w, h, len(src))
+	}
+	img := NewImage(w, h)
+	for n := range img.Data {
+		img.Data[n] = math.Float32frombits(binary.LittleEndian.Uint32(src[8+4*n:]))
+	}
+	return img, nil
+}

@@ -1,0 +1,109 @@
+package volume
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// Image is a dense 2-D float32 matrix of W×H pixels stored row-major:
+// Data[v*W+u]. For a CBCT projection W = Nu (detector width) and H = Nv
+// (detector height), matching the (Nv, Nu)-shaped projections of Table 1.
+type Image struct {
+	W, H int
+	Data []float32
+}
+
+// NewImage allocates a zeroed W×H image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("volume: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Data: make([]float32, w*h)}
+}
+
+// At returns pixel (u, v) where u indexes columns and v rows.
+func (m *Image) At(u, v int) float32 { return m.Data[v*m.W+u] }
+
+// Set stores x at pixel (u, v).
+func (m *Image) Set(u, v int, x float32) { m.Data[v*m.W+u] = x }
+
+// Row returns the v-th row as a subslice (no copy).
+func (m *Image) Row(v int) []float32 { return m.Data[v*m.W : (v+1)*m.W] }
+
+// Clone returns a deep copy.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Data: make([]float32, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns a new H×W image with axes swapped. The proposed
+// back-projection algorithm transposes each filtered projection
+// (Alg. 4 line 3) so that accesses along the detector V axis — the axis
+// walked by the Z-symmetric inner loop — become contiguous.
+func (m *Image) Transpose() *Image {
+	out := NewImage(m.H, m.W)
+	// Blocked transpose keeps both source rows and destination rows in
+	// cache for large detectors (2048²+).
+	const bs = 32
+	for v0 := 0; v0 < m.H; v0 += bs {
+		v1 := min(v0+bs, m.H)
+		for u0 := 0; u0 < m.W; u0 += bs {
+			u1 := min(u0+bs, m.W)
+			for v := v0; v < v1; v++ {
+				row := m.Data[v*m.W:]
+				for u := u0; u < u1; u++ {
+					out.Data[u*m.H+v] = row[u]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Summarize computes min/max/mean/std of the pixel payload.
+func (m *Image) Summarize() Stats { return summarize(m.Data) }
+
+// ImageRMSE returns the root-mean-square error between two equally sized
+// images.
+func ImageRMSE(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("volume: image RMSE size mismatch %dx%d vs %dx%d",
+			a.W, a.H, b.W, b.H)
+	}
+	return rmseFlat(a.Data, b.Data), nil
+}
+
+// WritePNG renders the image to an 8-bit grayscale PNG, linearly mapping
+// [lo, hi] to [0, 255]. If lo == hi the image min/max is used. This mirrors
+// the paper's use of ImageJ to render volumes for manual inspection
+// (Sec. 5.1).
+func (m *Image) WritePNG(w io.Writer, lo, hi float32) error {
+	if lo == hi {
+		s := m.Summarize()
+		lo, hi = s.Min, s.Max
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	scale := 255.0 / float64(hi-lo)
+	gray := image.NewGray(image.Rect(0, 0, m.W, m.H))
+	for v := 0; v < m.H; v++ {
+		for u := 0; u < m.W; u++ {
+			x := (float64(m.At(u, v)) - float64(lo)) * scale
+			x = math.Round(x)
+			if x < 0 {
+				x = 0
+			}
+			if x > 255 {
+				x = 255
+			}
+			gray.SetGray(u, v, color.Gray{Y: uint8(x)})
+		}
+	}
+	return png.Encode(w, gray)
+}
