@@ -1,0 +1,327 @@
+// Command ifdk-load replays a mixed medical/industrial reconstruction
+// workload against an ifdkd server and reports service-level performance:
+// throughput, submit→done latency percentiles, backpressure retries, cache
+// hits and verification outcomes. With no -addr it spins up an in-process
+// server first, making the full service path a one-command benchmark
+// alongside the Fig. 7 / Table 4 harnesses:
+//
+//	ifdk-load -jobs 24 -clients 6 -workers 4
+//	ifdk-load -addr http://localhost:8080 -jobs 50
+//
+// A fraction of the jobs are exact duplicates (exercising the result
+// cache), a fraction request serial-reference verification, and one job is
+// cancelled mid-flight to check teardown latency. The process exits
+// non-zero if any job fails, any verified job exceeds the paper's 1e-5
+// relative-RMSE bound, or the cancelled job does not settle promptly.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdk/internal/service"
+)
+
+type result struct {
+	id      string
+	view    service.View
+	latency time.Duration
+	retries int
+	err     error
+}
+
+func main() {
+	addr := flag.String("addr", "", "server base URL (empty = start an in-process server)")
+	jobs := flag.Int("jobs", 24, "number of jobs to submit")
+	clients := flag.Int("clients", 6, "concurrent submitting clients")
+	nx := flag.Int("nx", 16, "volume voxels per side for every job")
+	dupEvery := flag.Int("dup-every", 3, "every n-th job repeats an earlier spec (0 = never)")
+	verifyEvery := flag.Int("verify-every", 4, "every n-th job verifies against the serial reference (0 = never)")
+	workers := flag.Int("workers", 4, "worker pool size (in-process server only)")
+	queueCap := flag.Int("queue", 8, "queue capacity (in-process server only)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+
+	if err := run(*addr, *jobs, *clients, *nx, *dupEvery, *verifyEvery, *workers, *queueCap, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-load:", err)
+		os.Exit(1)
+	}
+}
+
+// specFor builds the i-th job of the mixed workload: alternating medical
+// (Shepp–Logan head), industrial (machined block) and calibration (sphere)
+// scans on varying grids, with periodic exact duplicates to exercise the
+// result cache.
+func specFor(i, nx, dupEvery, verifyEvery int) service.Spec {
+	if dupEvery > 0 && i > 0 && i%dupEvery == 0 {
+		// Repeat an earlier job's spec exactly; keep dupEvery so a
+		// reference that is itself a dup slot resolves through the chain.
+		return specFor(i/dupEvery-1, nx, dupEvery, verifyEvery)
+	}
+	phantoms := []string{"shepplogan", "industrial", "sphere"}
+	grids := [][2]int{{2, 2}, {4, 2}, {2, 4}, {4, 1}}
+	g := grids[i%len(grids)]
+	s := service.Spec{
+		Phantom: phantoms[i%len(phantoms)],
+		NX:      nx,
+		NP:      2*nx + 8*(i%3)*g[0]*g[1], // vary scan length, keep Np % R·C == 0
+		R:       g[0],
+		C:       g[1],
+	}
+	if verifyEvery > 0 && i%verifyEvery == 0 {
+		s.Verify = true
+	}
+	return s
+}
+
+func run(addr string, jobs, clients, nx, dupEvery, verifyEvery, workers, queueCap int, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	if addr == "" {
+		m := service.NewManager(service.Options{Workers: workers, QueueCap: queueCap})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: service.NewServer(m)}
+		go srv.Serve(ln)
+		defer func() {
+			shutCtx, c := context.WithTimeout(context.Background(), 30*time.Second)
+			defer c()
+			srv.Shutdown(shutCtx)
+			m.Shutdown(shutCtx)
+		}()
+		addr = "http://" + ln.Addr().String()
+		fmt.Printf("in-process server on %s (%d workers, queue %d)\n", addr, workers, queueCap)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	fmt.Printf("submitting %d jobs from %d clients (nx=%d, dup every %d, verify every %d)\n",
+		jobs, clients, nx, dupEvery, verifyEvery)
+
+	var (
+		wg        sync.WaitGroup
+		resMu     sync.Mutex
+		results   []result
+		retries   atomic.Int64
+		jobIdx    atomic.Int64
+		wallStart = time.Now()
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(jobIdx.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				r := driveJob(ctx, client, addr, specFor(i, nx, dupEvery, verifyEvery))
+				retries.Add(int64(r.retries))
+				resMu.Lock()
+				results = append(results, r)
+				resMu.Unlock()
+			}
+		}()
+	}
+
+	// One extra job is cancelled mid-flight to measure teardown latency.
+	cancelRes := make(chan error, 1)
+	go func() { cancelRes <- cancelProbe(ctx, client, addr, nx) }()
+
+	wg.Wait()
+	wall := time.Since(wallStart)
+	cancelErr := <-cancelRes
+
+	return report(client, addr, results, wall, retries.Load(), cancelErr)
+}
+
+// driveJob submits one spec (retrying 503 backpressure with backoff) and
+// polls it to a terminal state.
+func driveJob(ctx context.Context, client *http.Client, addr string, spec service.Spec) result {
+	body, _ := json.Marshal(spec)
+	start := time.Now()
+	var r result
+	for {
+		if err := ctx.Err(); err != nil {
+			r.err = err
+			return r
+		}
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			r.retries++
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			r.err = fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+			resp.Body.Close()
+			return r
+		}
+		err = json.NewDecoder(resp.Body).Decode(&r.view)
+		resp.Body.Close()
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.id = r.view.ID
+		break
+	}
+	for !r.view.State.Terminal() {
+		if err := ctx.Err(); err != nil {
+			r.err = err
+			return r
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := client.Get(addr + "/v1/jobs/" + r.id)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			r.err = fmt.Errorf("poll %s: HTTP %d", r.id, resp.StatusCode)
+			return r
+		}
+		err = json.NewDecoder(resp.Body).Decode(&r.view)
+		resp.Body.Close()
+		if err != nil {
+			r.err = err
+			return r
+		}
+	}
+	r.latency = time.Since(start)
+	if r.view.State != service.StateDone {
+		r.err = fmt.Errorf("job %s ended %s: %s", r.id, r.view.State, r.view.Error)
+	}
+	return r
+}
+
+// cancelProbe submits a job and cancels it immediately, checking that the
+// service settles it quickly.
+func cancelProbe(ctx context.Context, client *http.Client, addr string, nx int) error {
+	spec := service.Spec{Phantom: "sphere", NX: nx, NP: 8 * nx, R: 2, C: 2, Priority: "low"}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cancel probe submit: %w", err)
+	}
+	var v service.View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil || v.ID == "" {
+		return fmt.Errorf("cancel probe submit: %v (HTTP %d)", err, resp.StatusCode)
+	}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodDelete, addr+"/v1/jobs/"+v.ID, nil)
+	dresp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cancel probe delete: %w", err)
+	}
+	dresp.Body.Close()
+	start := time.Now()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(addr + "/v1/jobs/" + v.ID)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			// The probe finished before the DELETE arrived, which then
+			// removed the terminal record: also a settled state.
+			resp.Body.Close()
+			fmt.Printf("cancel probe: job %s finished before cancel and was deleted\n", v.ID)
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("cancel probe poll: %w", err)
+		}
+		if v.State.Terminal() {
+			fmt.Printf("cancel probe: job %s settled as %s in %v\n", v.ID, v.State, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cancel probe: job %s still %s after 10s", v.ID, v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(client *http.Client, addr string, results []result, wall time.Duration, retries int64, cancelErr error) error {
+	var lats []time.Duration
+	var failures, cacheHits, verified int
+	var worstRMSE float64
+	for _, r := range results {
+		if r.err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", r.id, r.err)
+			continue
+		}
+		lats = append(lats, r.latency)
+		if r.view.CacheHit {
+			cacheHits++
+		}
+		if r.view.Verified {
+			verified++
+			if r.view.RelRMSE > worstRMSE {
+				worstRMSE = r.view.RelRMSE
+			}
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+
+	fmt.Printf("\n=== service-level results ===\n")
+	fmt.Printf("jobs:        %d submitted, %d ok, %d failed\n", len(results), len(lats), failures)
+	fmt.Printf("wall time:   %v  (%.2f jobs/s)\n", wall.Round(time.Millisecond), float64(len(lats))/wall.Seconds())
+	fmt.Printf("latency:     p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(lats, 0.50).Round(time.Millisecond), percentile(lats, 0.90).Round(time.Millisecond),
+		percentile(lats, 0.99).Round(time.Millisecond), percentile(lats, 1.0).Round(time.Millisecond))
+	fmt.Printf("backpressure: %d retries after 503\n", retries)
+	fmt.Printf("cache hits:  %d/%d jobs\n", cacheHits, len(results))
+	fmt.Printf("verified:    %d jobs vs serial FDK, worst relative RMSE %.2e (bound 1e-5)\n", verified, worstRMSE)
+
+	if resp, err := client.Get(addr + "/v1/metrics"); err == nil {
+		var mt service.Metrics
+		if json.NewDecoder(resp.Body).Decode(&mt) == nil {
+			fmt.Printf("server:      %d workers, cache %d/%d entries (%d hits, %d misses), PFS %.1f MB written\n",
+				mt.Workers, mt.Cache.Entries, mt.Cache.Cap, mt.Cache.Hits, mt.Cache.Misses, mt.PFSWriteMB)
+		}
+		resp.Body.Close()
+	}
+
+	if cancelErr != nil {
+		return cancelErr
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d jobs failed", failures)
+	}
+	if verified > 0 && worstRMSE > 1e-5 {
+		return fmt.Errorf("verification exceeded bound: %.2e > 1e-5", worstRMSE)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ifdk
+
+go 1.24

@@ -24,6 +24,14 @@ type Config struct {
 	OutputPrefix string // PFS prefix for the output slices ("" = skip store)
 
 	AssembleVolume bool // gather the full volume at rank 0 into Result.Volume
+
+	// Progress, when non-nil, is invoked after every completed AllGather
+	// round on any rank with the cumulative count of finished rounds and
+	// the total: every rank performs Np/(R·C) rounds, so the grid performs
+	// Np rounds in total and done reaches exactly Np. Calls may come from
+	// any rank goroutine but are serialized by the framework. Excluded
+	// from serialization so Config stays hashable for caching.
+	Progress func(done, total int) `json:"-"`
 }
 
 // Validate reports configuration problems.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +30,14 @@ type projItem struct {
 // reading projections from and writing volume slices to the given PFS.
 // It is the Go realization of the paper's Fig. 2–4 flow.
 func Run(cfg Config, store *pfs.PFS) (*Result, error) {
+	return RunContext(context.Background(), cfg, store)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the MPI world
+// aborts, the three pipeline goroutines of every rank drain and exit, and
+// the call returns ctx's error. This is the teardown path the service layer
+// uses to cancel an in-flight job without leaking goroutines.
+func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,8 +46,21 @@ func Run(cfg Config, store *pfs.PFS) (*Result, error) {
 	var assembled atomic.Pointer[volume.Volume]
 	var bytesSent atomic.Int64
 
-	err := mpi.Run(n, func(c *mpi.Comm) error {
-		t, vol, err := runRank(cfg, store, c)
+	tick := func() {}
+	if cfg.Progress != nil {
+		total := cfg.Geometry.Np // quota rounds × R·C ranks = Np ticks
+		var mu sync.Mutex
+		done := 0
+		tick = func() {
+			mu.Lock()
+			done++
+			cfg.Progress(done, total)
+			mu.Unlock()
+		}
+	}
+
+	err := mpi.RunContext(ctx, n, func(c *mpi.Comm) error {
+		t, vol, err := runRank(ctx, cfg, store, c, tick)
 		if err != nil {
 			return err
 		}
@@ -51,6 +74,9 @@ func Run(cfg Config, store *pfs.PFS) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("core: run cancelled: %w", ctx.Err())
+		}
 		return nil, err
 	}
 	for _, t := range res.PerRank {
@@ -62,8 +88,9 @@ func Run(cfg Config, store *pfs.PFS) (*Result, error) {
 }
 
 // runRank is the body of one MPI rank: the three-thread pipeline of
-// Fig. 4a followed by the reduce/store epilogue of Fig. 4b.
-func runRank(cfg Config, store *pfs.PFS, c *mpi.Comm) (StageTimes, *volume.Volume, error) {
+// Fig. 4a followed by the reduce/store epilogue of Fig. 4b. tick is called
+// once per completed AllGather round for progress reporting.
+func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick func()) (StageTimes, *volume.Volume, error) {
 	var t StageTimes
 	g := cfg.Geometry
 	row := RankRow(c.Rank(), cfg.R)
@@ -96,6 +123,9 @@ func runRank(cfg Config, store *pfs.PFS, c *mpi.Comm) (StageTimes, *volume.Volum
 				return err
 			}
 			for s := myLo; s < myHi; s++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				loadStart := time.Now()
 				img, _, err := store.ReadProjection(cfg.InputPrefix, s)
 				if err != nil {
@@ -165,6 +195,9 @@ func runRank(cfg Config, store *pfs.PFS, c *mpi.Comm) (StageTimes, *volume.Volum
 	mainErr := func() error {
 		defer ringB.Close()
 		for r := 0; r < quota; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			it, ok := ringA.Get()
 			if !ok {
 				return fmt.Errorf("rank %d: filtering ended early at round %d", c.Rank(), r)
@@ -184,6 +217,7 @@ func runRank(cfg Config, store *pfs.PFS, c *mpi.Comm) (StageTimes, *volume.Volum
 					return fmt.Errorf("rank %d: back-projection ended early", c.Rank())
 				}
 			}
+			tick()
 		}
 		return nil
 	}()

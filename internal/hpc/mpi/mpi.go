@@ -14,6 +14,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -58,6 +59,9 @@ type world struct {
 
 	splitMu sync.Mutex
 	splits  map[string]*splitState
+
+	sharedMu sync.Mutex
+	shareds  []*commShared // every communicator ever built, for abort wakeups
 }
 
 type splitState struct {
@@ -102,9 +106,16 @@ func newWorld(n int) *world {
 func (w *world) newShared(global []int) *commShared {
 	s := &commShared{ctx: w.nextCtx.Add(1), w: w, global: global}
 	s.barrierCond = sync.NewCond(&s.barrierMu)
+	w.sharedMu.Lock()
+	w.shareds = append(w.shareds, s)
+	w.sharedMu.Unlock()
 	return s
 }
 
+// abort marks the world dead and wakes every blocked waiter: mailbox
+// receivers, in-flight Split rendezvous and Barrier parties. All of them
+// re-check the aborted flag under the same mutex their wait uses, so no
+// wakeup is lost.
 func (w *world) abort() {
 	if w.aborted.Swap(true) {
 		return
@@ -115,16 +126,48 @@ func (w *world) abort() {
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
+	w.splitMu.Lock()
+	for _, st := range w.splits {
+		st.cond.Broadcast()
+	}
+	w.splitMu.Unlock()
+	w.sharedMu.Lock()
+	shareds := append([]*commShared(nil), w.shareds...)
+	w.sharedMu.Unlock()
+	for _, s := range shareds {
+		s.barrierMu.Lock()
+		s.barrierCond.Broadcast()
+		s.barrierMu.Unlock()
+	}
 }
 
 // Run executes body on n ranks (goroutines) sharing a fresh world and
 // returns the combined errors of all ranks. A panicking rank is converted to
 // an error and aborts the world, releasing ranks blocked in communication.
 func Run(n int, body func(c *Comm) error) error {
+	return RunContext(context.Background(), n, body)
+}
+
+// RunContext is Run with external cancellation: when ctx is cancelled the
+// world aborts, so ranks blocked in point-to-point or collective calls
+// return ErrAborted instead of deadlocking. This is the teardown path a
+// long-lived service uses to cancel an in-flight reconstruction.
+func RunContext(ctx context.Context, n int, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
 	w := newWorld(n)
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.abort()
+			case <-stop:
+			}
+		}()
+	}
 	global := make([]int, n)
 	for i := range global {
 		global[i] = i

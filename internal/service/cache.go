@@ -1,0 +1,115 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"ifdk/internal/core"
+	"ifdk/internal/volume"
+)
+
+// Entry is one cached reconstruction result: the assembled volume plus the
+// timings of the run that produced it. Entries are immutable once stored
+// and may be shared by many jobs.
+type Entry struct {
+	Volume    *volume.Volume
+	Times     core.StageTimes
+	BytesSent int64
+	RelRMSE   float64 // serial-reference error, when the producing job verified
+	Verified  bool
+}
+
+// CacheKey content-addresses a reconstruction: the SHA-256 of the canonical
+// JSON of the core.Config with the per-job fields (output prefix, progress
+// callback) zeroed, so two jobs asking for the same volume from the same
+// input data map to the same key regardless of where they write or who
+// watches them. The input prefix is part of the Config and is itself
+// content-derived by the manager (a hash of phantom + geometry), making the
+// whole key a content hash of "what is reconstructed from which data".
+func CacheKey(cfg core.Config) string {
+	cfg.OutputPrefix = ""
+	cfg.Progress = nil
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain struct of values; Marshal cannot fail once
+		// Progress is cleared. Keep a defensive fallback anyway.
+		blob = []byte(fmt.Sprintf("%+v", cfg))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a fixed-capacity LRU over reconstruction results. It is the
+// serving-layer realization of "instant": a repeated identical request
+// costs one map lookup instead of a full pipeline run.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheItem struct {
+	key   string
+	entry *Entry
+}
+
+// NewCache creates an LRU holding at most capacity entries; capacity < 1
+// disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the entry for key, promoting it to most recently used.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheItem).entry, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores an entry, evicting the least recently used when full.
+func (c *Cache) Put(key string, e *Entry) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// CacheStats is a counters snapshot.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Cap     int   `json:"cap"`
+}
+
+// Stats returns a snapshot of the hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Cap: c.cap}
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"testing"
+
+	"ifdk/internal/core"
+	"ifdk/internal/ct/geometry"
+)
+
+func testCfg(nx int) core.Config {
+	return core.Config{
+		R: 2, C: 2,
+		Geometry:    geometry.Default(2*nx, 2*nx, 2*nx, nx, nx, nx),
+		InputPrefix: "ds/abc",
+	}
+}
+
+// The key must ignore the per-job fields (output prefix, progress callback)
+// and change with anything that changes the reconstruction.
+func TestCacheKeyNormalization(t *testing.T) {
+	a := testCfg(16)
+	b := testCfg(16)
+	b.OutputPrefix = "jobs/j1/out"
+	b.Progress = func(int, int) {}
+	if CacheKey(a) != CacheKey(b) {
+		t.Error("output prefix / progress changed the key")
+	}
+	c := testCfg(16)
+	c.InputPrefix = "ds/other"
+	if CacheKey(a) == CacheKey(c) {
+		t.Error("input prefix did not change the key")
+	}
+	d := testCfg(16)
+	d.R, d.C = 4, 1
+	if CacheKey(a) == CacheKey(d) {
+		t.Error("grid shape did not change the key")
+	}
+	e := testCfg(32)
+	if CacheKey(a) == CacheKey(e) {
+		t.Error("geometry did not change the key")
+	}
+}
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", &Entry{})
+	c.Put("b", &Entry{})
+	if _, ok := c.Get("a"); !ok { // promotes a
+		t.Fatal("miss on a")
+	}
+	c.Put("c", &Entry{}) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite promotion")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", &Entry{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}

@@ -1,0 +1,313 @@
+// Package service is the reconstruction serving layer on top of the iFDK
+// core: a job manager with a bounded priority queue, a worker pool running
+// up to K concurrent distributed reconstructions, a content-addressed result
+// cache, and an HTTP API. It turns the paper's one-shot pipeline (Fig. 2–4)
+// into a long-lived system with submit/status/cancel semantics, backpressure
+// and instant replies for repeated requests — the serving-side counterpart
+// of the paper's "instant" reconstruction claim.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ifdk/internal/core"
+	"ifdk/internal/ct/filter"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/phantom"
+)
+
+// Priority orders jobs within the queue; higher priorities pop first,
+// FIFO within a priority class.
+type Priority int
+
+const (
+	// PriorityLow is background work (e.g. re-verification sweeps).
+	PriorityLow Priority = iota
+	// PriorityNormal is the default interactive class.
+	PriorityNormal
+	// PriorityHigh preempts queued normal work (not running jobs).
+	PriorityHigh
+	numPriorities
+)
+
+// ParsePriority maps the wire strings "low", "normal" (or ""), "high".
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return PriorityLow, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return 0, fmt.Errorf("service: unknown priority %q", s)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is a reconstruction request as it arrives over the wire: a synthetic
+// cone-beam scan of a named phantom plus the grid to reconstruct it on.
+type Spec struct {
+	Phantom  string `json:"phantom"`  // shepplogan | sphere | industrial
+	NX       int    `json:"nx"`       // output voxels per side
+	NU       int    `json:"nu"`       // detector pixels per side (0 → 2·nx)
+	NP       int    `json:"np"`       // projections (0 → 2·nx)
+	R        int    `json:"r"`        // grid rows (0 → 2)
+	C        int    `json:"c"`        // grid columns (0 → 2)
+	Window   string `json:"window"`   // ramp window name ("" → ram-lak)
+	Priority string `json:"priority"` // low | normal | high ("" → normal)
+	Verify   bool   `json:"verify"`   // compare against the serial FDK reference
+}
+
+// withDefaults fills the zero fields exactly as cmd/ifdk does.
+func (s Spec) withDefaults() Spec {
+	if s.Phantom == "" {
+		s.Phantom = "shepplogan"
+	}
+	if s.NX <= 0 {
+		s.NX = 16
+	}
+	if s.NU <= 0 {
+		s.NU = 2 * s.NX
+	}
+	if s.NP <= 0 {
+		s.NP = 2 * s.NX
+	}
+	if s.R <= 0 {
+		s.R = 2
+	}
+	if s.C <= 0 {
+		s.C = 2
+	}
+	if s.Window == "" {
+		s.Window = filter.RamLak.String()
+	}
+	return s
+}
+
+// Admission limits: one request must not be able to allocate unbounded
+// memory on the daemon (the in-memory PFS holds every staged projection and
+// output slice, and each rank owns a slab of the volume).
+const (
+	maxNX    = 256
+	maxNU    = 1024
+	maxNP    = 4096
+	maxRanks = 64
+)
+
+// compile resolves a Spec into the pieces the worker needs: the phantom,
+// the geometry, and a core.Config without I/O prefixes (the manager fills
+// those per job).
+func (s Spec) compile() (phantom.Phantom, core.Config, error) {
+	s = s.withDefaults()
+	if s.NX > maxNX || s.NU > maxNU || s.NP > maxNP {
+		return phantom.Phantom{}, core.Config{}, fmt.Errorf(
+			"service: problem size nx=%d nu=%d np=%d exceeds limits (%d, %d, %d)",
+			s.NX, s.NU, s.NP, maxNX, maxNU, maxNP)
+	}
+	if s.R*s.C > maxRanks {
+		return phantom.Phantom{}, core.Config{}, fmt.Errorf(
+			"service: grid %dx%d = %d ranks exceeds limit %d", s.R, s.C, s.R*s.C, maxRanks)
+	}
+	g := geometry.Default(s.NU, s.NU, s.NP, s.NX, s.NX, s.NX)
+	ph, err := pickPhantom(s.Phantom, g)
+	if err != nil {
+		return phantom.Phantom{}, core.Config{}, err
+	}
+	win, err := pickWindow(s.Window)
+	if err != nil {
+		return phantom.Phantom{}, core.Config{}, err
+	}
+	if _, err := ParsePriority(s.Priority); err != nil {
+		return phantom.Phantom{}, core.Config{}, err
+	}
+	cfg := core.Config{R: s.R, C: s.C, Geometry: g, Window: win}
+	probe := cfg
+	probe.InputPrefix = "probe" // satisfy Validate; real prefix set at run time
+	if err := probe.Validate(); err != nil {
+		return phantom.Phantom{}, core.Config{}, err
+	}
+	return ph, cfg, nil
+}
+
+func pickPhantom(name string, g geometry.Params) (phantom.Phantom, error) {
+	r := g.FOVRadius() * 0.9
+	switch name {
+	case "shepplogan":
+		return phantom.SheppLogan3D(r), nil
+	case "sphere":
+		return phantom.UniformSphere(r*0.6, 1), nil
+	case "industrial":
+		return phantom.IndustrialBlock(r), nil
+	default:
+		return phantom.Phantom{}, fmt.Errorf("service: unknown phantom %q", name)
+	}
+}
+
+func pickWindow(name string) (filter.Window, error) {
+	for _, w := range []filter.Window{filter.RamLak, filter.SheppLogan, filter.Cosine, filter.Hamming, filter.Hann} {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown window %q", name)
+}
+
+// Job is one reconstruction request tracked by the manager. All mutable
+// fields are guarded by mu; readers use snapshot().
+type Job struct {
+	ID       string
+	Spec     Spec
+	Priority Priority
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	done      int // completed AllGather rounds
+	total     int // Np rounds in total
+	times     core.StageTimes
+	cacheHit  bool
+	relRMSE   float64 // only meaningful when Spec.Verify and state == done
+	verified  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func() // non-nil while running
+	result    *Entry // terminal result (shared with the cache)
+
+	// worker-side request, resolved once at submit time
+	ph       phantom.Phantom
+	cfg      core.Config // InputPrefix set; OutputPrefix/Progress set per run
+	cacheKey string
+}
+
+// View is the JSON representation of a job returned by the API.
+type View struct {
+	ID        string  `json:"id"`
+	State     State   `json:"state"`
+	Spec      Spec    `json:"spec"`
+	Priority  string  `json:"priority"`
+	Progress  float64 `json:"progress"` // 0..1
+	CacheHit  bool    `json:"cache_hit"`
+	Error     string  `json:"error,omitempty"`
+	RelRMSE   float64 `json:"rel_rmse,omitempty"`
+	Verified  bool    `json:"verified,omitempty"`
+	Submitted string  `json:"submitted"`
+	Started   string  `json:"started,omitempty"`
+	Finished  string  `json:"finished,omitempty"`
+	WaitSec   float64 `json:"wait_sec"`
+	RunSec    float64 `json:"run_sec,omitempty"`
+	Stages    Stages  `json:"stages,omitempty"`
+}
+
+// Stages is the wire form of core.StageTimes (seconds, max over ranks).
+type Stages struct {
+	Load        float64 `json:"load"`
+	Filter      float64 `json:"filter"`
+	AllGather   float64 `json:"allgather"`
+	Backproject float64 `json:"backproject"`
+	Compute     float64 `json:"compute"`
+	Reduce      float64 `json:"reduce"`
+	Store       float64 `json:"store"`
+	Total       float64 `json:"total"`
+}
+
+func stagesOf(t core.StageTimes) Stages {
+	return Stages{
+		Load:        t.Load.Seconds(),
+		Filter:      t.Filter.Seconds(),
+		AllGather:   t.AllGather.Seconds(),
+		Backproject: t.Backproject.Seconds(),
+		Compute:     t.Compute.Seconds(),
+		Reduce:      t.Reduce.Seconds(),
+		Store:       t.Store.Seconds(),
+		Total:       t.Total.Seconds(),
+	}
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// snapshot returns a consistent read-only view of the job.
+func (j *Job) snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		State:     j.state,
+		Spec:      j.Spec,
+		Priority:  j.Priority.String(),
+		CacheHit:  j.cacheHit,
+		Error:     j.err,
+		RelRMSE:   j.relRMSE,
+		Verified:  j.verified,
+		Submitted: fmtTime(j.submitted),
+		Started:   fmtTime(j.started),
+		Finished:  fmtTime(j.finished),
+		Stages:    stagesOf(j.times),
+	}
+	if j.total > 0 {
+		v.Progress = float64(j.done) / float64(j.total)
+	}
+	if j.state == StateDone {
+		v.Progress = 1
+	}
+	switch {
+	case !j.started.IsZero():
+		v.WaitSec = j.started.Sub(j.submitted).Seconds()
+	case !j.finished.IsZero(): // cache hit or cancelled while queued
+		v.WaitSec = j.finished.Sub(j.submitted).Seconds()
+	default:
+		v.WaitSec = time.Since(j.submitted).Seconds()
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		v.RunSec = j.finished.Sub(j.started).Seconds()
+	}
+	return v
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal result entry (nil unless state == done).
+func (j *Job) Result() *Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}

@@ -1,0 +1,528 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdk/internal/core"
+	"ifdk/internal/ct/fdk"
+	"ifdk/internal/ct/projector"
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/volume"
+)
+
+// Options configures a Manager.
+type Options struct {
+	Workers  int        // concurrent reconstructions (default 2)
+	QueueCap int        // bounded admission queue (default 4·Workers)
+	CacheCap int        // result-cache entries (default 64)
+	MaxJobs  int        // retained job records; oldest terminal ones are pruned (default 1024)
+	PFS      pfs.Config // simulated storage backing all jobs (zero = defaults)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueCap < 1 {
+		o.QueueCap = 4 * o.Workers
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 64
+	}
+	if o.MaxJobs < 1 {
+		o.MaxJobs = 1024
+	}
+	return o
+}
+
+// Manager is the reconstruction service: it owns the job table, the bounded
+// priority queue, the worker pool, the shared PFS namespace tree and the
+// result cache. One Manager serves many concurrent clients.
+//
+// Namespace layout inside the shared PFS:
+//
+//	ds/<hash>/proj_*      staged projection datasets, content-addressed and
+//	                      shared by all jobs with identical scans
+//	jobs/<id>/out/slice_* per-job output slices (each job's own namespace)
+type Manager struct {
+	opt   Options
+	store *pfs.PFS
+	queue *Queue
+	cache *Cache
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for List
+	seq   int64
+	open  bool
+
+	stageMu sync.Mutex
+	staged  map[string]*stageState
+
+	wg        sync.WaitGroup
+	busy      atomic.Int64
+	started   time.Time
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+}
+
+type stageState struct {
+	done chan struct{}
+	err  error
+}
+
+// NewManager starts a manager with opt.Workers worker goroutines.
+func NewManager(opt Options) *Manager {
+	opt = opt.withDefaults()
+	m := &Manager{
+		opt:     opt,
+		store:   pfs.New(opt.PFS),
+		queue:   NewQueue(opt.QueueCap),
+		cache:   NewCache(opt.CacheCap),
+		jobs:    make(map[string]*Job),
+		staged:  make(map[string]*stageState),
+		open:    true,
+		started: time.Now(),
+	}
+	for i := 0; i < opt.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Store exposes the backing PFS (tests and tooling).
+func (m *Manager) Store() *pfs.PFS { return m.store }
+
+// datasetPrefix content-addresses the staged scan of a spec: jobs with the
+// same phantom and geometry share one projection set on the PFS.
+func datasetPrefix(spec Spec, cfg core.Config) string {
+	probe := core.Config{Geometry: cfg.Geometry}
+	probe.InputPrefix = spec.Phantom // fold the phantom into the hash
+	return "ds/" + CacheKey(probe)[:16]
+}
+
+// Submit validates and admits a job. A result-cache hit completes the job
+// instantly; otherwise the job enters the bounded queue (ErrQueueFull when
+// the service is saturated — callers should retry with backoff).
+func (m *Manager) Submit(spec Spec) (View, error) {
+	ph, cfg, err := spec.compile()
+	if err != nil {
+		return View{}, err
+	}
+	spec = spec.withDefaults()
+	prio, err := ParsePriority(spec.Priority)
+	if err != nil {
+		return View{}, err
+	}
+	cfg.InputPrefix = datasetPrefix(spec, cfg)
+	cfg.AssembleVolume = true
+	key := CacheKey(cfg)
+
+	m.mu.Lock()
+	if !m.open {
+		m.mu.Unlock()
+		return View{}, ErrClosed
+	}
+	m.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%08d", m.seq),
+		Spec:      spec,
+		Priority:  prio,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ph:        ph,
+		cfg:       cfg,
+		cacheKey:  key,
+	}
+	// A cached entry only satisfies a verify request if the run that
+	// produced it was itself verified; otherwise the job runs (and its
+	// verified entry replaces the cached one).
+	if e, ok := m.cache.Get(key); ok && (!spec.Verify || e.Verified) {
+		j.state = StateDone
+		j.cacheHit = true
+		j.finished = j.submitted
+		j.times = e.Times
+		j.relRMSE = e.RelRMSE
+		j.verified = e.Verified
+		j.result = e
+		m.jobs[j.ID] = j
+		m.order = append(m.order, j.ID)
+		m.completed.Add(1)
+		pruned := m.pruneLocked()
+		m.mu.Unlock()
+		m.scrub(pruned)
+		return j.snapshot(), nil
+	}
+	if err := m.queue.Push(j); err != nil {
+		m.mu.Unlock()
+		return View{}, err
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	pruned := m.pruneLocked()
+	m.mu.Unlock()
+	m.scrub(pruned)
+	return j.snapshot(), nil
+}
+
+// pruneLocked evicts the oldest terminal job records beyond MaxJobs so a
+// long-lived daemon's job table stays bounded; callers must hold m.mu and
+// pass the returned IDs to scrub. Live jobs are never pruned.
+func (m *Manager) pruneLocked() []string {
+	var pruned []string
+	for i := 0; len(m.order) > m.opt.MaxJobs && i < len(m.order)-1; {
+		id := m.order[i]
+		j, ok := m.jobs[id]
+		if ok && !j.State().Terminal() {
+			i++
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		pruned = append(pruned, id)
+	}
+	return pruned
+}
+
+// scrub deletes pruned jobs' output namespaces from the PFS.
+func (m *Manager) scrub(ids []string) {
+	for _, id := range ids {
+		for _, path := range m.store.List("jobs/" + id + "/") {
+			m.store.Delete(path)
+		}
+	}
+}
+
+// Get returns a job's current view.
+func (m *Manager) Get(id string) (View, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return View{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Volume returns a done job's reconstructed volume.
+func (m *Manager) Volume(id string) (*volume.Volume, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: no job %q", id)
+	}
+	e := j.Result()
+	if e == nil || e.Volume == nil {
+		return nil, fmt.Errorf("service: job %s has no result (state %s)", id, j.State())
+	}
+	return e.Volume, nil
+}
+
+// List returns all jobs in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]View, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is withdrawn immediately, a running job
+// has its context cancelled (the MPI world aborts and the pipeline drains).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		m.queue.Remove(id) // best-effort: a worker may have popped it already
+		m.cancelled.Add(1)
+		return nil
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("service: job %s already %s", id, st)
+	}
+}
+
+// Delete removes a terminal job's record and its output namespace from the
+// PFS. Cached results survive (they may serve future submissions).
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if ok && !j.State().Terminal() {
+		m.mu.Unlock()
+		return fmt.Errorf("service: job %s is not terminal; cancel it first", id)
+	}
+	if ok {
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	for _, path := range m.store.List("jobs/" + id + "/") {
+		m.store.Delete(path)
+	}
+	return nil
+}
+
+// worker is one slot of the pool: it pops jobs until the queue is closed
+// and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j, ok := m.queue.Pop()
+		if !ok {
+			return
+		}
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through running → terminal.
+func (m *Manager) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled between Pop and here
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	m.busy.Add(1)
+	entry, err := m.execute(ctx, j)
+	m.busy.Add(-1)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = entry
+		j.times = entry.Times
+		j.relRMSE = entry.RelRMSE
+		j.verified = entry.Verified
+		m.completed.Add(1)
+	case ctx.Err() != nil:
+		j.state = StateCancelled
+		j.err = err.Error()
+		m.cancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.failed.Add(1)
+	}
+	j.mu.Unlock()
+	if err == nil {
+		m.cache.Put(j.cacheKey, entry)
+	}
+}
+
+// execute stages the dataset (once per content hash), runs the distributed
+// reconstruction under the job's context, and optionally verifies the
+// volume against the serial FDK reference.
+func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
+	if err := m.stageDataset(ctx, j); err != nil {
+		return nil, err
+	}
+	cfg := j.cfg
+	cfg.OutputPrefix = "jobs/" + j.ID + "/out"
+	cfg.Progress = func(done, total int) {
+		j.mu.Lock()
+		j.done, j.total = done, total
+		j.mu.Unlock()
+	}
+	res, err := core.RunContext(ctx, cfg, m.store)
+	if err != nil {
+		return nil, err
+	}
+	entry := &Entry{Volume: res.Volume, Times: res.Max, BytesSent: res.BytesSent}
+	if j.Spec.Verify {
+		if err := m.verifyAgainstSerial(ctx, j, entry); err != nil {
+			return nil, fmt.Errorf("verification: %w", err)
+		}
+	}
+	return entry, nil
+}
+
+// stageDataset synthesizes and stores the projections for a job's scan,
+// deduplicated across jobs by content hash (single-flight).
+func (m *Manager) stageDataset(ctx context.Context, j *Job) error {
+	key := j.cfg.InputPrefix
+	m.stageMu.Lock()
+	st, ok := m.staged[key]
+	if !ok {
+		st = &stageState{done: make(chan struct{})}
+		m.staged[key] = st
+		m.stageMu.Unlock()
+		proj := projector.AnalyticAll(j.ph, j.cfg.Geometry, 0)
+		st.err = core.StageProjections(m.store, key, proj)
+		if st.err != nil { // allow a later job to retry
+			m.stageMu.Lock()
+			delete(m.staged, key)
+			m.stageMu.Unlock()
+		}
+		close(st.done)
+		return st.err
+	}
+	m.stageMu.Unlock()
+	select {
+	case <-st.done:
+		return st.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// verifyAgainstSerial recomputes the volume with the serial FDK pipeline
+// and records the relative RMSE (the paper's < 1e-5 equivalence check).
+func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) error {
+	g := j.cfg.Geometry
+	proj := make([]*volume.Image, g.Np)
+	for s := range proj {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		img, _, err := m.store.ReadProjection(j.cfg.InputPrefix, s)
+		if err != nil {
+			return err
+		}
+		proj[s] = img
+	}
+	ref, err := fdk.Reconstruct(g, proj, fdk.Config{Window: j.cfg.Window})
+	if err != nil {
+		return err
+	}
+	rmse, err := volume.RMSE(ref, e.Volume)
+	if err != nil {
+		return err
+	}
+	s := ref.Summarize()
+	scale := math.Max(math.Abs(float64(s.Min)), math.Abs(float64(s.Max)))
+	if scale > 0 {
+		rmse /= scale
+	}
+	e.RelRMSE = rmse
+	e.Verified = true
+	return nil
+}
+
+// Metrics is the service-level counters snapshot served by /v1/metrics.
+type Metrics struct {
+	UptimeSec   float64        `json:"uptime_sec"`
+	Workers     int            `json:"workers"`
+	BusyWorkers int            `json:"busy_workers"`
+	QueueDepth  int            `json:"queue_depth"`
+	QueueCap    int            `json:"queue_cap"`
+	Jobs        map[string]int `json:"jobs"`
+	Completed   int64          `json:"completed"`
+	Failed      int64          `json:"failed"`
+	Cancelled   int64          `json:"cancelled"`
+	JobsPerSec  float64        `json:"jobs_per_sec"`
+	Cache       CacheStats     `json:"cache"`
+	PFSReadMB   float64        `json:"pfs_read_mb"`
+	PFSWriteMB  float64        `json:"pfs_write_mb"`
+	PFSObjects  int            `json:"pfs_objects"`
+}
+
+// Metrics returns a snapshot of queue, pool, cache and storage counters.
+func (m *Manager) Metrics() Metrics {
+	states := map[string]int{}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		states[string(j.State())]++
+	}
+	m.mu.Unlock()
+	up := time.Since(m.started).Seconds()
+	done := m.completed.Load()
+	ps := m.store.Stats()
+	mt := Metrics{
+		UptimeSec:   up,
+		Workers:     m.opt.Workers,
+		BusyWorkers: int(m.busy.Load()),
+		QueueDepth:  m.queue.Len(),
+		QueueCap:    m.queue.Cap(),
+		Jobs:        states,
+		Completed:   done,
+		Failed:      m.failed.Load(),
+		Cancelled:   m.cancelled.Load(),
+		Cache:       m.cache.Stats(),
+		PFSReadMB:   float64(ps.BytesRead) / (1 << 20),
+		PFSWriteMB:  float64(ps.BytesWritten) / (1 << 20),
+		PFSObjects:  ps.Objects,
+	}
+	if up > 0 {
+		mt.JobsPerSec = float64(done) / up
+	}
+	return mt
+}
+
+// Shutdown stops admission, drains the queue and waits for in-flight jobs.
+// When ctx expires first, all remaining jobs are cancelled and Shutdown
+// waits for the pool to unwind before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.open = false
+	m.mu.Unlock()
+	m.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, v := range m.List() {
+			if !v.State.Terminal() {
+				_ = m.Cancel(v.ID)
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,334 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"ifdk/internal/hpc/pfs"
+)
+
+func testSpec() Spec {
+	return Spec{Phantom: "shepplogan", NX: 16, R: 2, C: 2}
+}
+
+// pfsThrottled models slow storage so in-flight jobs live long enough for
+// cancellation tests to land mid-run.
+func pfsThrottled() pfs.Config {
+	return pfs.Config{ReadBW: 2e6, Targets: 1, Throttle: true}
+}
+
+func waitState(t *testing.T, m *Manager, id string, timeout time.Duration) View {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	v, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s after %v", id, v.State, timeout)
+	return View{}
+}
+
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// A burst beyond queue+pool capacity must hit backpressure; everything
+// admitted must complete correctly.
+func TestSaturationAndCompletion(t *testing.T) {
+	m := NewManager(Options{Workers: 2, QueueCap: 3})
+	var admitted []string
+	sawFull := false
+	spec := testSpec()
+	spec.Verify = true
+	// Vary NP across submissions so no two specs share a cache entry.
+	for i := 0; i < 12; i++ {
+		s := spec
+		s.NP = 32 + 4*(i%6)
+		v, err := m.Submit(s)
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted = append(admitted, v.ID)
+	}
+	if !sawFull {
+		t.Error("no backpressure despite 12 submits into a 2+3 service")
+	}
+	if len(admitted) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	for _, id := range admitted {
+		v := waitState(t, m, id, 30*time.Second)
+		if v.State != StateDone && !v.CacheHit {
+			t.Errorf("job %s: state %s (%s)", id, v.State, v.Error)
+		}
+		if v.State == StateDone && !v.CacheHit {
+			if !v.Verified || v.RelRMSE > 1e-5 {
+				t.Errorf("job %s: verified=%v relRMSE=%g, want < 1e-5", id, v.Verified, v.RelRMSE)
+			}
+		}
+	}
+	shutdown(t, m)
+}
+
+// An identical resubmission after completion must be served from the cache
+// instantly, sharing the first run's timings and verification.
+func TestCacheHitOnResubmit(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	first, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := waitState(t, m, first.ID, 30*time.Second)
+	if v1.State != StateDone || v1.CacheHit {
+		t.Fatalf("first run: %+v", v1)
+	}
+	second, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("resubmission not served from cache: %+v", second)
+	}
+	volA, err := m.Volume(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volB, err := m.Volume(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volA != volB {
+		t.Error("cache hit did not share the stored volume")
+	}
+	// A different grid over the same dataset is a different result.
+	other := testSpec()
+	other.R, other.C = 4, 1
+	v3, err := m.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.CacheHit {
+		t.Error("different grid shape hit the cache")
+	}
+	waitState(t, m, v3.ID, 30*time.Second)
+	st := m.Metrics().Cache
+	if st.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.Hits)
+	}
+	shutdown(t, m)
+}
+
+// A verify request must not be satisfied by an unverified cached entry.
+func TestVerifyBypassesUnverifiedCacheEntry(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	plain, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, plain.ID, 30*time.Second)
+	withVerify := testSpec()
+	withVerify.Verify = true
+	v, err := m.Submit(withVerify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheHit {
+		t.Fatal("verify request served from an unverified cache entry")
+	}
+	final := waitState(t, m, v.ID, 30*time.Second)
+	if !final.Verified || final.RelRMSE > 1e-5 {
+		t.Fatalf("verification missing: %+v", final)
+	}
+	// The verified entry replaced the cached one: now verify requests hit.
+	v2, err := m.Submit(withVerify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.CacheHit || !v2.Verified {
+		t.Fatalf("verified resubmission missed the cache: %+v", v2)
+	}
+	shutdown(t, m)
+}
+
+// Oversized requests are rejected at admission, not run to OOM.
+func TestSubmitRejectsOversizedProblems(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	for _, s := range []Spec{
+		{Phantom: "sphere", NX: 1024, R: 2, C: 2},
+		{Phantom: "sphere", NX: 16, NP: 100000, R: 2, C: 2},
+		{Phantom: "sphere", NX: 16, R: 16, C: 16},
+	} {
+		if _, err := m.Submit(s); err == nil {
+			t.Errorf("oversized spec accepted: %+v", s)
+		}
+	}
+	shutdown(t, m)
+}
+
+// The job table stays bounded: old terminal records (and their PFS output)
+// are pruned once MaxJobs is exceeded.
+func TestJobRecordsPruned(t *testing.T) {
+	m := NewManager(Options{Workers: 1, MaxJobs: 3})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		s := testSpec()
+		s.NP = 32 + 4*i
+		v, err := m.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, v.ID, 30*time.Second)
+		ids = append(ids, v.ID)
+	}
+	if n := len(m.List()); n > 3 {
+		t.Fatalf("job table holds %d records, want <= 3", n)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Error("oldest record survived pruning")
+	}
+	if n := len(m.Store().List("jobs/" + ids[0] + "/")); n != 0 {
+		t.Errorf("%d output objects of pruned job survived", n)
+	}
+	if _, ok := m.Get(ids[5]); !ok {
+		t.Error("newest record was pruned")
+	}
+	shutdown(t, m)
+}
+
+// Cancelling an in-flight job must return promptly and leak nothing.
+func TestCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// Throttled storage stretches the run so the cancel lands mid-flight.
+	m := NewManager(Options{Workers: 1, PFS: pfsThrottled()})
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the job to actually start computing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, _ := m.Get(v.ID)
+		if cur.State == StateRunning && cur.Progress > 0 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished before cancel: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := m.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, v.ID, 10*time.Second)
+	if final.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancel took %v", d)
+	}
+	if err := m.Cancel(v.ID); err == nil {
+		t.Error("cancelling a terminal job succeeded")
+	}
+	shutdown(t, m)
+	waitGoroutines(t, baseline)
+}
+
+// Cancelling a queued job withdraws it before it ever runs.
+func TestCancelQueued(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueCap: 8, PFS: pfsThrottled()})
+	blocker, err := m.Submit(testSpec()) // occupies the only worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedSpec := testSpec()
+	queuedSpec.NP = 48
+	queued, err := m.Submit(queuedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Get(queued.ID)
+	if v.State != StateCancelled {
+		t.Fatalf("queued job state = %s", v.State)
+	}
+	_ = m.Cancel(blocker.ID)
+	shutdown(t, m)
+}
+
+// Delete removes the record and the job's PFS namespace.
+func TestDeleteJobCleansNamespace(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, 30*time.Second)
+	if n := len(m.Store().List("jobs/" + v.ID + "/")); n == 0 {
+		t.Fatal("no output slices stored")
+	}
+	if err := m.Delete(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(v.ID); ok {
+		t.Error("job record survived delete")
+	}
+	if n := len(m.Store().List("jobs/" + v.ID + "/")); n != 0 {
+		t.Errorf("%d output objects survived delete", n)
+	}
+	shutdown(t, m)
+}
+
+// After Shutdown the manager rejects submissions and has drained its pool.
+func TestShutdownRejectsAndDrains(t *testing.T) {
+	m := NewManager(Options{Workers: 2})
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, m)
+	final, _ := m.Get(v.ID)
+	if !final.State.Terminal() {
+		t.Errorf("in-flight job not terminal after graceful shutdown: %s", final.State)
+	}
+	if _, err := m.Submit(testSpec()); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after shutdown: %v", err)
+	}
+}

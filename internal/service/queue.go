@@ -1,0 +1,111 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity — the
+// backpressure signal the HTTP layer translates to 503.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned when the manager is shutting down.
+var ErrClosed = errors.New("service: manager closed")
+
+// Queue is a bounded multi-priority FIFO: Pop drains the highest non-empty
+// priority class first, oldest job first within a class. Push never blocks
+// (it reports ErrQueueFull instead) so the admission decision is immediate;
+// Pop blocks until a job or Close.
+type Queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	buckets  [numPriorities][]*Job
+	n        int
+	capacity int
+	closed   bool
+}
+
+// NewQueue creates a queue admitting at most capacity jobs (min 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the admission capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Len returns the number of queued jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Push admits a job or reports ErrQueueFull / ErrClosed.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.n >= q.capacity {
+		return ErrQueueFull
+	}
+	q.buckets[j.Priority] = append(q.buckets[j.Priority], j)
+	q.n++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available and returns it; after Close the
+// remaining jobs are drained, then Pop reports ok == false.
+func (q *Queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	for p := numPriorities - 1; p >= 0; p-- {
+		if len(q.buckets[p]) > 0 {
+			j := q.buckets[p][0]
+			q.buckets[p][0] = nil
+			q.buckets[p] = q.buckets[p][1:]
+			q.n--
+			return j, true
+		}
+	}
+	return nil, false // unreachable: n > 0 implies a non-empty bucket
+}
+
+// Remove deletes a queued job by ID (used by cancel); it reports whether
+// the job was found.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for p := range q.buckets {
+		for i, j := range q.buckets[p] {
+			if j.ID == id {
+				q.buckets[p] = append(q.buckets[p][:i], q.buckets[p][i+1:]...)
+				q.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Close stops admission and wakes blocked Pops; queued jobs can still be
+// drained (graceful shutdown) — idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+}

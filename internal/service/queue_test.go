@@ -1,0 +1,103 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mkJob(id string, p Priority) *Job {
+	return &Job{ID: id, Priority: p, state: StateQueued, submitted: time.Now()}
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := NewQueue(10)
+	for _, j := range []*Job{
+		mkJob("n1", PriorityNormal),
+		mkJob("l1", PriorityLow),
+		mkJob("h1", PriorityHigh),
+		mkJob("n2", PriorityNormal),
+		mkJob("h2", PriorityHigh),
+	} {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"h1", "h2", "n1", "n2", "l1"}
+	for _, id := range want {
+		j, ok := q.Pop()
+		if !ok || j.ID != id {
+			t.Fatalf("popped %v, want %s", j, id)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(2)
+	if err := q.Push(mkJob("a", PriorityNormal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(mkJob("b", PriorityHigh)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(mkJob("c", PriorityHigh)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	q.Pop()
+	if err := q.Push(mkJob("c", PriorityHigh)); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(mkJob("a", PriorityNormal))
+	q.Push(mkJob("b", PriorityNormal))
+	if !q.Remove("a") {
+		t.Fatal("remove a failed")
+	}
+	if q.Remove("a") {
+		t.Fatal("double remove succeeded")
+	}
+	j, ok := q.Pop()
+	if !ok || j.ID != "b" {
+		t.Fatalf("popped %v, want b", j)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(mkJob("a", PriorityNormal))
+	q.Close()
+	if err := q.Push(mkJob("b", PriorityNormal)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if j, ok := q.Pop(); !ok || j.ID != "a" {
+		t.Fatal("queued job not drained after close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on drained closed queue reported ok")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewQueue(1)
+	got := make(chan *Job, 1)
+	go func() {
+		j, _ := q.Pop()
+		got <- j
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(mkJob("x", PriorityLow))
+	select {
+	case j := <-got:
+		if j.ID != "x" {
+			t.Fatalf("popped %s", j.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake")
+	}
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server is the HTTP front of a Manager.
+//
+//	POST   /v1/jobs               submit a Spec; 200 on cache hit, 202 when
+//	                              queued, 503 + Retry-After when saturated
+//	GET    /v1/jobs               list all jobs
+//	GET    /v1/jobs/{id}          one job's status/progress/timings
+//	GET    /v1/jobs/{id}/slice/{z} axial slice z of a done job as PNG
+//	DELETE /v1/jobs/{id}          cancel a live job, or delete a terminal one
+//	GET    /v1/metrics            queue/pool/cache/storage counters
+//	GET    /healthz               liveness
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the API routes around a manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", s.slice)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.remove)
+	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	v, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case v.CacheHit:
+		writeJSON(w, http.StatusOK, v)
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	z, err := strconv.Atoi(r.PathValue("z"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "slice index must be an integer"})
+		return
+	}
+	vol, err := s.m.Volume(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	if z < 0 || z >= vol.Nz {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("slice %d out of range [0,%d)", z, vol.Nz)})
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := vol.SliceZ(z).WritePNG(w, 0, 0); err != nil {
+		// Headers are gone; all we can do is drop the connection mid-body.
+		return
+	}
+}
+
+// remove cancels a live job (202) or deletes a terminal one (204).
+func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.m.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if !v.State.Terminal() {
+		if err := s.m.Cancel(id); err != nil {
+			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "action": "cancelled"})
+		return
+	}
+	if err := s.m.Delete(id); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Metrics())
+}

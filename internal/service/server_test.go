@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, opt Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(opt)
+	ts := httptest.NewServer(NewServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	})
+	return ts, m
+}
+
+func postJob(t *testing.T, url string, spec Spec) (*http.Response, View) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, v
+}
+
+func getView(t *testing.T, url, id string) (int, View) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp.StatusCode, v
+}
+
+// Full API round-trip: submit, poll to completion, fetch a slice PNG,
+// observe the cache on resubmission, read metrics, delete.
+func TestAPIRoundTrip(t *testing.T) {
+	ts, _ := startTestServer(t, Options{Workers: 2})
+	spec := testSpec()
+
+	resp, v := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, cur := getView(t, ts.URL, v.ID)
+		if code != http.StatusOK {
+			t.Fatalf("get status = %d", code)
+		}
+		if cur.State.Terminal() {
+			if cur.State != StateDone {
+				t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Slice endpoint returns a decodable PNG of the right size.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/slice/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("slice status = %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("slice content type = %s", ct)
+	}
+	img, err := png.Decode(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img.Bounds(); b.Dx() != 16 || b.Dy() != 16 {
+		t.Fatalf("slice is %dx%d, want 16x16", b.Dx(), b.Dy())
+	}
+
+	// Out-of-range slice is a 400.
+	oresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/slice/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range slice status = %d", oresp.StatusCode)
+	}
+
+	// Identical resubmission is served instantly from the cache with 200.
+	resp2, v2 := postJob(t, ts.URL, spec)
+	if resp2.StatusCode != http.StatusOK || !v2.CacheHit {
+		t.Fatalf("resubmit: status %d, cacheHit %v", resp2.StatusCode, v2.CacheHit)
+	}
+
+	// Metrics reflect the traffic.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mt Metrics
+	if err := json.NewDecoder(mresp.Body).Decode(&mt); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Completed < 2 || mt.Cache.Hits < 1 || mt.Workers != 2 {
+		t.Fatalf("metrics = %+v", mt)
+	}
+
+	// List shows both jobs.
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list []View
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list has %d jobs, want 2", len(list))
+	}
+
+	// DELETE on a terminal job removes it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", dresp.StatusCode)
+	}
+	if code, _ := getView(t, ts.URL, v.ID); code != http.StatusNotFound {
+		t.Fatalf("deleted job still served: %d", code)
+	}
+}
+
+func TestAPIRejectsBadRequests(t *testing.T) {
+	ts, _ := startTestServer(t, Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	bad := testSpec()
+	bad.Phantom = "unicorn"
+	resp2, _ := postJob(t, ts.URL, bad)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad phantom status = %d", resp2.StatusCode)
+	}
+	if code, _ := getView(t, ts.URL, "nonexistent"); code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", code)
+	}
+}
+
+// DELETE on a live job cancels it.
+func TestAPICancelViaDelete(t *testing.T) {
+	ts, _ := startTestServer(t, Options{
+		Workers: 1,
+		PFS:     pfsThrottled(),
+	})
+	_, v := postJob(t, ts.URL, testSpec())
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, cur := getView(t, ts.URL, v.ID)
+		if cur.State.Terminal() {
+			if cur.State != StateCancelled {
+				t.Fatalf("state = %s, want cancelled", cur.State)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
