@@ -121,7 +121,8 @@ func BenchmarkFig7(b *testing.B) {
 
 // --- Real-execution stage benchmarks (the micro-benchmarks of E13).
 
-// BenchmarkFilteringStage measures TH_flt on this CPU.
+// BenchmarkFilteringStage measures TH_flt on this CPU through the pooled
+// hot path: allocs/op must be zero in steady state.
 func BenchmarkFilteringStage(b *testing.B) {
 	g := geometry.Default(512, 16, 90, 32, 32, 32)
 	flt, err := filter.New(g, filter.RamLak)
@@ -129,16 +130,54 @@ func BenchmarkFilteringStage(b *testing.B) {
 		b.Fatal(err)
 	}
 	img := volume.NewImage(g.Nu, g.Nv)
+	q := volume.NewImage(g.Nu, g.Nv)
 	for n := range img.Data {
 		img.Data[n] = float32(n % 101)
 	}
+	if err := flt.ApplyInto(img, q); err != nil { // warm the scratch pools
+		b.Fatal(err)
+	}
 	b.SetBytes(int64(4 * g.Nu * g.Nv))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := flt.Apply(img); err != nil {
+		if err := flt.ApplyInto(img, q); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFilterRFFT compares the float32 half-spectrum hot path against
+// the complex128 reference on one projection of the default geometry.
+func BenchmarkFilterRFFT(b *testing.B) {
+	g := geometry.Default(512, 16, 90, 32, 32, 32)
+	flt, err := filter.New(g, filter.RamLak)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := volume.NewImage(g.Nu, g.Nv)
+	q := volume.NewImage(g.Nu, g.Nv)
+	for n := range img.Data {
+		img.Data[n] = float32(n % 101)
+	}
+	b.Run("complex128", func(b *testing.B) {
+		b.SetBytes(int64(4 * g.Nu * g.Nv))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := flt.ApplyRef(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rfft", func(b *testing.B) {
+		b.SetBytes(int64(4 * g.Nu * g.Nv))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := flt.ApplyInto(img, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkBackprojection compares the standard and proposed algorithms on
@@ -156,6 +195,7 @@ func BenchmarkBackprojection(b *testing.B) {
 	updates := float64(g.Nx) * float64(g.Ny) * float64(g.Nz) * float64(g.Np)
 	b.Run("standard", func(b *testing.B) {
 		vol := volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := backproject.Standard(task, vol, backproject.Options{}); err != nil {
@@ -166,6 +206,7 @@ func BenchmarkBackprojection(b *testing.B) {
 	})
 	b.Run("proposed", func(b *testing.B) {
 		vol := volume.New(g.Nx, g.Ny, g.Nz, volume.KMajor)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := backproject.Proposed(task, vol, backproject.Options{}); err != nil {
@@ -187,6 +228,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := core.Config{R: 2, C: 2, Geometry: g, InputPrefix: "in"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(cfg, store); err != nil {
@@ -200,6 +242,7 @@ func BenchmarkSerialReference(b *testing.B) {
 	g := geometry.Default(64, 64, 32, 32, 32, 32)
 	ph := phantom.SheppLogan3D(g.FOVRadius() * 0.9)
 	proj := projector.AnalyticAll(ph, g, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fdk.Reconstruct(g, proj, fdk.Config{}); err != nil {

@@ -308,8 +308,9 @@ func report(client *http.Client, addr string, results []result, wall time.Durati
 	if resp, err := client.Get(addr + "/v1/metrics"); err == nil {
 		var mt service.Metrics
 		if json.NewDecoder(resp.Body).Decode(&mt) == nil {
-			fmt.Printf("server:      %d workers, cache %d/%d entries (%d hits, %d misses), PFS %.1f MB written\n",
-				mt.Workers, mt.Cache.Entries, mt.Cache.Cap, mt.Cache.Hits, mt.Cache.Misses, mt.PFSWriteMB)
+			fmt.Printf("server:      %d workers, cache %d entries %.1f/%.1f MiB (%d hits, %d misses), PFS %.1f MB written\n",
+				mt.Workers, mt.Cache.Entries, float64(mt.Cache.Bytes)/(1<<20),
+				float64(mt.Cache.MaxBytes)/(1<<20), mt.Cache.Hits, mt.Cache.Misses, mt.PFSWriteMB)
 		}
 		resp.Body.Close()
 	}

@@ -3,7 +3,7 @@
 // bounded worker pool, deduplicates identical requests through a result
 // cache, and serves volume slices as PNG.
 //
-//	ifdkd -addr :8080 -workers 4 -queue 16 -cache 64
+//	ifdkd -addr :8080 -workers 4 -queue 16 -cache-mb 1024
 //
 // Quickstart:
 //
@@ -36,19 +36,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "concurrent reconstructions")
 	queueCap := flag.Int("queue", 16, "admission queue capacity")
-	cacheCap := flag.Int("cache", 64, "result cache entries")
+	cacheMB := flag.Int64("cache-mb", 1024, "result cache budget in MiB (<= 0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueCap, *cacheCap, *drain, *abci); err != nil {
+	if err := run(*addr, *workers, *queueCap, *cacheMB, *drain, *abci); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdkd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap, cacheCap int, drain time.Duration, abci bool) error {
-	opt := service.Options{Workers: workers, QueueCap: queueCap, CacheCap: cacheCap}
+func run(addr string, workers, queueCap int, cacheMB int64, drain time.Duration, abci bool) error {
+	cacheBytes := cacheMB << 20
+	if cacheMB <= 0 {
+		cacheBytes = -1 // explicit off; 0 would mean "default"
+	}
+	opt := service.Options{Workers: workers, QueueCap: queueCap, CacheBytes: cacheBytes}
 	if abci {
 		opt.PFS = pfs.ABCIConfig()
 	}
@@ -60,8 +64,8 @@ func run(addr string, workers, queueCap, cacheCap int, drain time.Duration, abci
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ifdkd: serving on %s (%d workers, queue %d, cache %d)",
-			addr, workers, queueCap, cacheCap)
+		log.Printf("ifdkd: serving on %s (%d workers, queue %d, cache %d MiB)",
+			addr, workers, queueCap, cacheMB)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}

@@ -10,6 +10,7 @@ import (
 	"ifdk/internal/ct/backproject"
 	"ifdk/internal/ct/filter"
 	"ifdk/internal/ct/geometry"
+	"ifdk/internal/engine"
 	"ifdk/internal/hpc/mpi"
 	"ifdk/internal/hpc/pfs"
 	"ifdk/internal/hpc/ringbuf"
@@ -113,12 +114,16 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 
 	// --- Filtering thread (Fig. 4a, left): load + filter own projections
 	// in round order and feed the Main thread through a circular buffer.
+	// Each projection lives in one pooled image for its whole life on this
+	// rank: decoded into it straight off the PFS, filtered in place, handed
+	// through the ring, and released after the AllGather copies it out —
+	// zero per-projection heap allocations in steady state.
 	ringA := ringbuf.New[projItem](cfg.queueDepth())
 	filterErr := make(chan error, 1)
 	go func() {
 		filterErr <- func() error {
 			defer ringA.Close()
-			flt, err := filter.New(g, cfg.Window)
+			flt, err := filter.Cached(g, cfg.Window)
 			if err != nil {
 				return err
 			}
@@ -127,18 +132,20 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 					return err
 				}
 				loadStart := time.Now()
-				img, _, err := store.ReadProjection(cfg.InputPrefix, s)
-				if err != nil {
+				img := engine.Images.Acquire(g.Nu, g.Nv)
+				if _, err := store.ReadProjectionInto(img, cfg.InputPrefix, s); err != nil {
+					engine.Images.Release(img)
 					return fmt.Errorf("rank %d: %w", c.Rank(), err)
 				}
 				t.Load += time.Since(loadStart)
 				fltStart := time.Now()
-				q, err := flt.Apply(img)
-				if err != nil {
+				if err := flt.ApplyInto(img, img); err != nil {
+					engine.Images.Release(img)
 					return err
 				}
 				t.Filter += time.Since(fltStart)
-				if !ringA.Put(projItem{s: s, img: q}) {
+				if !ringA.Put(projItem{s: s, img: img}) {
+					engine.Images.Release(img)
 					return nil // pipeline shut down
 				}
 			}
@@ -149,7 +156,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 	// --- Back-projection thread (Fig. 4a, right): batch incoming filtered
 	// projections and accumulate them into the rank's slab-pair volume.
 	ringB := ringbuf.New[projItem](cfg.queueDepth() * max(1, cfg.R))
-	local := volume.New(g.Nx, g.Ny, 2*h, volume.KMajor)
+	local := engine.Volumes.Acquire(g.Nx, g.Ny, 2*h, volume.KMajor)
 	bpErr := make(chan error, 1)
 	go func() {
 		bpErr <- func() error {
@@ -207,6 +214,9 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 			}
 			agStart := time.Now()
 			blocks, err := colComm.AllGather(it.img.Data)
+			// AllGather copies the payload into its own blocks, so the
+			// pooled projection can be recycled immediately.
+			engine.Images.Release(it.img)
 			if err != nil {
 				return err
 			}
@@ -242,6 +252,9 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 	// output slices, optionally assemble the full volume at rank 0.
 	redStart := time.Now()
 	red, err := rowComm.Reduce(0, local.Data, mpi.OpSum)
+	// Reduce copies the payload into its own accumulator, so the pooled
+	// slab pair goes back for the next job regardless of the outcome.
+	engine.Volumes.Release(local)
 	if err != nil {
 		return t, nil, err
 	}

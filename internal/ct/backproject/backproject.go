@@ -21,12 +21,24 @@ package backproject
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"ifdk/internal/ct/geometry"
 	"ifdk/internal/ct/interp"
+	"ifdk/internal/engine"
 	"ifdk/internal/volume"
+)
+
+// Pooled per-batch and per-worker scratch. Parallel sections run on the
+// shared engine scheduler, and every buffer whose lifetime is one batch (the
+// narrowed matrices, the projection-data table, the transposed projections)
+// or one worker chunk (the per-column register files of Listing 1) is
+// acquired from an engine pool, so steady-state back-projection performs no
+// per-projection heap allocations.
+var (
+	matPool  engine.BufPool[[3][4]float32]
+	dataPool engine.BufPool[[]float32]
+	imgsPool engine.BufPool[*volume.Image]
+	colPool  engine.BufPool[float32]
 )
 
 // DefaultBatch is the number of projections accumulated per volume pass,
@@ -67,13 +79,6 @@ type Options struct {
 	Batch   int // projections per volume pass; 0 means DefaultBatch
 }
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Workers
-}
-
 func (o Options) batch() int {
 	if o.Batch <= 0 {
 		return DefaultBatch
@@ -109,9 +114,9 @@ func Standard(task Task, vol *volume.Volume, opt Options) error {
 	batch := opt.batch()
 	for s0 := 0; s0 < len(task.Proj); s0 += batch {
 		s1 := min(s0+batch, len(task.Proj))
-		rows := narrowMats(task.Mats[s0:s1])
-		data := projData(task.Proj[s0:s1])
-		parallelRange(nz, opt.workers(), func(k0, k1 int) {
+		bufs := acquireBatch(task.Mats[s0:s1], task.Proj[s0:s1], false)
+		rows, data := bufs.rows.Data, bufs.data.Data
+		engine.ParallelRange(nz, opt.Workers, func(k0, k1 int) {
 			for k := k0; k < k1; k++ {
 				fk := float32(k)
 				for j := 0; j < ny; j++ {
@@ -137,6 +142,7 @@ func Standard(task Task, vol *volume.Volume, opt Options) error {
 				}
 			}
 		})
+		bufs.release()
 	}
 	return nil
 }
@@ -161,28 +167,20 @@ func Ablate(task Task, vol *volume.Volume, opt Options, va Variant) error {
 	batch := opt.batch()
 	for s0 := 0; s0 < len(task.Proj); s0 += batch {
 		s1 := min(s0+batch, len(task.Proj))
-		rows := narrowMats(task.Mats[s0:s1])
 		// Transpose the batch once (Alg. 4 line 3); its cost is a small
-		// fraction of the back-projection (Sec. 3.2.3).
-		var data [][]float32
+		// fraction of the back-projection (Sec. 3.2.3). Transpose buffers
+		// come from the shared image pool and return after the batch.
+		bufs := acquireBatch(task.Mats[s0:s1], task.Proj[s0:s1], va.Transpose)
+		rows, data := bufs.rows.Data, bufs.data.Data
 		var tw, th int
 		if va.Transpose {
-			data = make([][]float32, s1-s0)
-			for t, p := range task.Proj[s0:s1] {
-				data[t] = p.Transpose().Data
-			}
 			tw, th = h, w // transposed: V is now the fast axis
 		} else {
-			data = projData(task.Proj[s0:s1])
 			tw, th = w, h
 		}
 		nb := s1 - s0
-		parallelRange(ny, opt.workers(), func(j0, j1 int) {
-			// Per-column state for the batch (the registers U, Z of
-			// Listing 1).
-			us := make([]float32, nb)
-			fs := make([]float32, nb)
-			ws := make([]float32, nb)
+		engine.ParallelRange(ny, opt.Workers, func(j0, j1 int) {
+			regs, us, fs, ws := acquireRegs(nb)
 			for j := j0; j < j1; j++ {
 				fj := float32(j)
 				for i := 0; i < nx; i++ {
@@ -257,7 +255,9 @@ func Ablate(task Task, vol *volume.Volume, opt Options, va Variant) error {
 					}
 				}
 			}
+			regs.Release()
 		})
+		bufs.release()
 	}
 	return nil
 }
@@ -271,44 +271,94 @@ func sampleProj(data []float32, w, h int, u, v float32, transposed bool) float32
 	return interp.Bilinear(data, w, h, u, v)
 }
 
-func narrowMats(mats []geometry.ProjMat) [][3][4]float32 {
-	out := make([][3][4]float32, len(mats))
+// batchBufs bundles the pooled per-batch state shared by all kernels: the
+// narrowed matrices, the projection-data table, and (when transposing) the
+// transposed projections. Acquire with acquireBatch, release with release —
+// the pool-ownership choreography lives here and nowhere else.
+type batchBufs struct {
+	rows       *engine.Buf[[3][4]float32]
+	data       *engine.Buf[[]float32]
+	transposed *engine.Buf[*volume.Image]
+}
+
+// acquireBatch narrows the batch's matrices and builds its projection-data
+// table, transposing each projection into a pooled image when transpose is
+// set (Alg. 4 line 3).
+func acquireBatch(mats []geometry.ProjMat, imgs []*volume.Image, transpose bool) batchBufs {
+	b := batchBufs{rows: narrowMats(mats)}
+	if transpose {
+		b.transposed = transposeBatch(imgs)
+		b.data = dataPool.Acquire(len(imgs))
+		for t, tp := range b.transposed.Data {
+			b.data.Data[t] = tp.Data
+		}
+	} else {
+		b.data = projData(imgs)
+	}
+	return b
+}
+
+// release returns every pooled buffer of the batch.
+func (b batchBufs) release() {
+	releaseData(b.data)
+	releaseTransposed(b.transposed)
+	b.rows.Release()
+}
+
+// acquireRegs hands out one worker chunk's register files (the U, Z, W_dis
+// registers of Listing 1): three nb-wide rows carved from a single pooled
+// buffer. Release the returned buffer when the chunk completes.
+func acquireRegs(nb int) (regs *engine.Buf[float32], us, fs, ws []float32) {
+	regs = colPool.Acquire(3 * nb)
+	return regs, regs.Data[:nb], regs.Data[nb : 2*nb], regs.Data[2*nb:]
+}
+
+// narrowMats fills a pooled table with the float32-narrowed matrix rows of
+// one batch (Listing 1's constant-memory layout).
+func narrowMats(mats []geometry.ProjMat) *engine.Buf[[3][4]float32] {
+	buf := matPool.Acquire(len(mats))
 	for n, m := range mats {
-		out[n] = m.Rows32()
+		buf.Data[n] = m.Rows32()
 	}
-	return out
+	return buf
 }
 
-func projData(imgs []*volume.Image) [][]float32 {
-	out := make([][]float32, len(imgs))
+// projData fills a pooled table with the batch's projection payloads.
+func projData(imgs []*volume.Image) *engine.Buf[[]float32] {
+	buf := dataPool.Acquire(len(imgs))
 	for n, p := range imgs {
-		out[n] = p.Data
+		buf.Data[n] = p.Data
 	}
-	return out
+	return buf
 }
 
-// parallelRange splits [0, n) into one contiguous chunk per worker and runs
-// body(lo, hi) concurrently.
-func parallelRange(n, workers int, body func(lo, hi int)) {
-	if workers > n {
-		workers = n
+// releaseData clears the payload references (so the pool does not pin the
+// projections until the next batch) and releases the table.
+func releaseData(buf *engine.Buf[[]float32]) {
+	clear(buf.Data)
+	buf.Release()
+}
+
+// transposeBatch transposes every projection of a batch into pooled images.
+func transposeBatch(imgs []*volume.Image) *engine.Buf[*volume.Image] {
+	buf := imgsPool.Acquire(len(imgs))
+	for t, p := range imgs {
+		tp := engine.Images.Acquire(p.H, p.W)
+		p.TransposeInto(tp)
+		buf.Data[t] = tp
 	}
-	if workers <= 1 {
-		body(0, n)
+	return buf
+}
+
+// releaseTransposed returns the batch's transpose buffers to the image pool
+// (nil when the variant did not transpose).
+func releaseTransposed(buf *engine.Buf[*volume.Image]) {
+	if buf == nil {
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+	for t, tp := range buf.Data {
+		engine.Images.Release(tp)
+		buf.Data[t] = nil
 	}
-	wg.Wait()
+	buf.Release()
 }

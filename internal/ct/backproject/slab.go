@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ifdk/internal/ct/interp"
+	"ifdk/internal/engine"
 	"ifdk/internal/volume"
 )
 
@@ -40,16 +41,11 @@ func ProposedSlabPair(task Task, vol *volume.Volume, opt Options, nzFull, z0, z1
 	batch := opt.batch()
 	for s0 := 0; s0 < len(task.Proj); s0 += batch {
 		s1 := min(s0+batch, len(task.Proj))
-		rows := narrowMats(task.Mats[s0:s1])
-		data := make([][]float32, s1-s0)
-		for t, p := range task.Proj[s0:s1] {
-			data[t] = p.Transpose().Data
-		}
+		bufs := acquireBatch(task.Mats[s0:s1], task.Proj[s0:s1], true)
+		rows, data := bufs.rows.Data, bufs.data.Data
 		nb := s1 - s0
-		parallelRange(ny, opt.workers(), func(j0, j1 int) {
-			us := make([]float32, nb)
-			fs := make([]float32, nb)
-			ws := make([]float32, nb)
+		engine.ParallelRange(ny, opt.Workers, func(j0, j1 int) {
+			regs, us, fs, ws := acquireRegs(nb)
 			for j := j0; j < j1; j++ {
 				fj := float32(j)
 				for i := 0; i < nx; i++ {
@@ -84,7 +80,9 @@ func ProposedSlabPair(task Task, vol *volume.Volume, opt Options, nzFull, z0, z1
 					}
 				}
 			}
+			regs.Release()
 		})
+		bufs.release()
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"ifdk/internal/ct/backproject"
 	"ifdk/internal/ct/filter"
 	"ifdk/internal/ct/geometry"
+	"ifdk/internal/engine"
 	"ifdk/internal/volume"
 )
 
@@ -46,11 +47,14 @@ type Config struct {
 // Reconstruct filters the projections and back-projects them into a new
 // volume. The result always uses the i-major layout (the storage layout),
 // reshaped from k-major when the proposed algorithm ran (Alg. 4 line 22).
+// The filtered projections live in pooled images that return to the engine
+// after back-projection, so repeated reconstructions (the service's
+// verification path) reuse one working set.
 func Reconstruct(g geometry.Params, proj []*volume.Image, cfg Config) (*volume.Volume, error) {
 	if len(proj) != g.Np {
 		return nil, fmt.Errorf("fdk: %d projections for Np = %d", len(proj), g.Np)
 	}
-	flt, err := filter.New(g, cfg.Window)
+	flt, err := filter.Cached(g, cfg.Window)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +62,11 @@ func Reconstruct(g geometry.Params, proj []*volume.Image, cfg Config) (*volume.V
 	if err != nil {
 		return nil, err
 	}
-	return BackprojectFiltered(g, q, cfg)
+	vol, err := BackprojectFiltered(g, q, cfg)
+	for _, img := range q {
+		engine.Images.Release(img)
+	}
+	return vol, err
 }
 
 // BackprojectFiltered runs only the back-projection stage on projections
@@ -75,11 +83,16 @@ func BackprojectFiltered(g geometry.Params, q []*volume.Image, cfg Config) (*vol
 		}
 		return vol, nil
 	case AlgProposed:
-		vol := volume.New(g.Nx, g.Ny, g.Nz, volume.KMajor)
+		// The k-major volume is an intermediate (the result is reshaped to
+		// the storage layout), so it comes from and returns to the pool.
+		vol := engine.Volumes.Acquire(g.Nx, g.Ny, g.Nz, volume.KMajor)
 		if err := backproject.Proposed(task, vol, opt); err != nil {
+			engine.Volumes.Release(vol)
 			return nil, err
 		}
-		return vol.Reshape(volume.IMajor), nil
+		out := vol.Reshape(volume.IMajor)
+		engine.Volumes.Release(vol)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("fdk: unknown algorithm %v", cfg.Algorithm)
 	}

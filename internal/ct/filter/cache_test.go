@@ -1,0 +1,69 @@
+package filter
+
+import (
+	"sync"
+	"testing"
+
+	"ifdk/internal/ct/geometry"
+)
+
+func TestCachedSharesFilterers(t *testing.T) {
+	g := testGeom()
+	a, err := Cached(g, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(g, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (geometry, window) did not share a Filterer")
+	}
+	c, err := Cached(g, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different windows shared a Filterer")
+	}
+	g2 := g
+	g2.Nu *= 2
+	d, err := Cached(g2, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different geometries shared a Filterer")
+	}
+	bad := g
+	bad.Np = 0
+	if _, err := Cached(bad, RamLak); err == nil {
+		t.Error("invalid geometry should not be cached or returned")
+	}
+}
+
+func TestCachedConcurrentFirstUse(t *testing.T) {
+	g := geometry.Default(32, 8, 16, 8, 8, 8)
+	g.Dv *= 1.0000001 // unique key so this test really races the build
+	var wg sync.WaitGroup
+	got := make([]*Filterer, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := Cached(g, Cosine)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = f
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent first use produced distinct Filterers")
+		}
+	}
+}

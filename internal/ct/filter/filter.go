@@ -4,8 +4,16 @@
 // Theorem path of Sec. 2.2.3).
 //
 // The paper runs this stage on the CPUs with multi-threading and SIMD; here
-// the multi-threading maps to worker goroutines (ApplyBatch) and the FFT
-// primitive is internal/fft.
+// the multi-threading maps to the shared engine scheduler (ApplyBatch) and
+// the FFT primitive is internal/fft.
+//
+// Hot path. Detector rows are real float32, so the production path
+// (Apply/ApplyInto) transforms each row with a half-spectrum real FFT and
+// multiplies by a precomputed float32 ramp spectrum — no complex128 round
+// trip, no per-row allocation (scratch comes from engine buffer pools, and
+// ApplyInto may filter a projection in place). The original complex128 path
+// is kept as ApplyRef: it is the high-precision reference that parity tests
+// and benchmarks compare against.
 //
 // Scaling. The filtered projections are pre-multiplied by the FDK constants
 // θ·d²·τ/2 (angular step × distance-weight numerator × effective detector
@@ -17,12 +25,20 @@ package filter
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"ifdk/internal/ct/geometry"
+	"ifdk/internal/engine"
 	"ifdk/internal/fft"
 	"ifdk/internal/volume"
+)
+
+// Shared scratch pools for row filtering: one padded real row and one half
+// spectrum per in-flight ApplyInto call, reused across rows, projections and
+// Filterers (pools key by length, and all Filterers of one geometry share
+// lengths).
+var (
+	rowPool  engine.BufPool[float32]
+	specPool engine.BufPool[complex64]
 )
 
 // Window selects the apodization applied to the ramp filter's frequency
@@ -123,9 +139,13 @@ type Filterer struct {
 	g      geometry.Params
 	win    Window
 	cosTab *volume.Image
-	plan   *fft.Plan
-	spec   []complex128 // scaled, windowed ramp spectrum (length L)
 	l      int
+	// Hot path: half-spectrum real FFT over float32.
+	rplan  *fft.RealPlan
+	spec32 []float32 // scaled, windowed ramp spectrum, bins 0..L/2 (real-valued)
+	// Reference path: the original complex128 round trip (ApplyRef).
+	plan *fft.Plan
+	spec []complex128 // scaled, windowed ramp spectrum (length L)
 }
 
 // New builds a Filterer for the geometry and window.
@@ -162,7 +182,22 @@ func New(g geometry.Params, win Window) (*Filterer, error) {
 		f /= float64(l / 2) // fraction of Nyquist
 		buf[k] *= complex(scale*win.gain(f), 0)
 	}
-	return &Filterer{g: g, win: win, cosTab: CosineTable(g), plan: plan, spec: buf, l: l}, nil
+	// The circular arrangement is symmetric (taps[k] at k and L-k), so the
+	// spectrum is real and even: the half spectrum narrows to a float32
+	// gain per bin, computed in float64 above and rounded once.
+	rplan, err := fft.NewRealPlan(l)
+	if err != nil {
+		return nil, err
+	}
+	spec32 := make([]float32, l/2+1)
+	for k := range spec32 {
+		spec32[k] = float32(real(buf[k]))
+	}
+	return &Filterer{
+		g: g, win: win, cosTab: CosineTable(g), l: l,
+		rplan: rplan, spec32: spec32,
+		plan: plan, spec: buf,
+	}, nil
 }
 
 // Geometry returns the geometry this Filterer was built for.
@@ -174,6 +209,60 @@ func (f *Filterer) Window() Window { return f.win }
 // Apply filters one projection E_i, returning the filtered Q_i
 // (Alg. 1: Ẽ = E·F_cos, then each row convolved with F_ramp).
 func (f *Filterer) Apply(e *volume.Image) (*volume.Image, error) {
+	if e.W != f.g.Nu || e.H != f.g.Nv {
+		return nil, fmt.Errorf("filter: projection %dx%d does not match geometry %dx%d",
+			e.W, e.H, f.g.Nu, f.g.Nv)
+	}
+	q := volume.NewImage(e.W, e.H)
+	return q, f.ApplyInto(e, q)
+}
+
+// ApplyInto filters e into q, which must both match the geometry. q may be
+// e itself: rows are fully read into pooled scratch before being written
+// back, so in-place filtering is safe — the pipeline filters each loaded
+// projection in place and never allocates a second image. Steady state
+// performs zero heap allocations.
+func (f *Filterer) ApplyInto(e, q *volume.Image) error {
+	if e.W != f.g.Nu || e.H != f.g.Nv {
+		return fmt.Errorf("filter: projection %dx%d does not match geometry %dx%d",
+			e.W, e.H, f.g.Nu, f.g.Nv)
+	}
+	if q.W != e.W || q.H != e.H {
+		return fmt.Errorf("filter: output %dx%d does not match projection %dx%d",
+			q.W, q.H, e.W, e.H)
+	}
+	row := rowPool.Acquire(f.l)
+	spec := specPool.Acquire(f.l/2 + 1)
+	for v := 0; v < e.H; v++ {
+		f.filterRowRFFT(e.Row(v), f.cosTab.Row(v), q.Row(v), row.Data, spec.Data)
+	}
+	spec.Release()
+	row.Release()
+	return nil
+}
+
+// filterRowRFFT is the hot path: cosine-weight the row, transform with the
+// half-spectrum real plan, scale each bin by the real ramp gain, transform
+// back. All arithmetic is float32.
+func (f *Filterer) filterRowRFFT(in, cos, out, row []float32, spec []complex64) {
+	for u := range in {
+		row[u] = in[u] * cos[u] // point-wise ·F_cos
+	}
+	clear(row[len(in):])
+	f.rplan.Forward(spec, row)
+	for k, g := range f.spec32 {
+		v := spec[k]
+		spec[k] = complex(real(v)*g, imag(v)*g)
+	}
+	f.rplan.Inverse(row, spec)
+	copy(out, row[:len(out)])
+}
+
+// ApplyRef filters one projection through the original complex128 path. It
+// is the high-precision reference implementation: parity tests pin the RFFT
+// hot path to it, and BenchmarkFilterRFFT measures the gap. Not used by the
+// pipeline.
+func (f *Filterer) ApplyRef(e *volume.Image) (*volume.Image, error) {
 	if e.W != f.g.Nu || e.H != f.g.Nv {
 		return nil, fmt.Errorf("filter: projection %dx%d does not match geometry %dx%d",
 			e.W, e.H, f.g.Nu, f.g.Nv)
@@ -205,39 +294,28 @@ func (f *Filterer) filterRow(in, cos, out []float32, buf []complex128) {
 
 // ApplyBatch filters a batch of projections with the given number of worker
 // goroutines (0 means GOMAXPROCS), mirroring the OpenMP parallel filtering
-// inside each rank's Filtering-thread (Sec. 4.1.3). The result order matches
-// the input order.
+// inside each rank's Filtering-thread (Sec. 4.1.3). Scheduling delegates to
+// the shared engine pool and the result order matches the input order. The
+// outputs are acquired from engine.Images: callers that are done with them
+// may hand them back via engine.Images.Release (optional — an output that
+// escapes simply becomes ordinary garbage).
 func (f *Filterer) ApplyBatch(imgs []*volume.Image, workers int) ([]*volume.Image, error) {
 	out := make([]*volume.Image, len(imgs))
 	errs := make([]error, len(imgs))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(imgs) {
-		workers = len(imgs)
-	}
-	var cursor int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := cursor
-				cursor++
-				mu.Unlock()
-				if i >= len(imgs) {
-					return
-				}
-				out[i], errs[i] = f.Apply(imgs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	engine.ParallelEach(len(imgs), workers, func(i int) {
+		q := engine.Images.Acquire(f.g.Nu, f.g.Nv)
+		if err := f.ApplyInto(imgs[i], q); err != nil {
+			engine.Images.Release(q)
+			errs[i] = err
+			return
+		}
+		out[i] = q
+	})
 	for _, err := range errs {
 		if err != nil {
+			for _, q := range out {
+				engine.Images.Release(q) // nil-safe
+			}
 			return nil, err
 		}
 	}

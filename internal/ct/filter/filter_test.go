@@ -155,7 +155,9 @@ func TestImpulseResponseMatchesKernel(t *testing.T) {
 	e := volume.NewImage(g.Nu, g.Nv)
 	cu, cv := g.Nu/2, g.Nv/2
 	e.Set(cu, cv, 1)
-	q, err := f.Apply(e)
+	// The complex128 reference path keeps this tight tolerance; the RFFT
+	// hot path is pinned to the reference by the parity tests.
+	q, err := f.ApplyRef(e)
 	if err != nil {
 		t.Fatal(err)
 	}

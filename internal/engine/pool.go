@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"sync"
+
+	"ifdk/internal/volume"
+)
+
+// Buffer pools for the compute plane.
+//
+// Acquire/release contract (followed by all pipeline stages):
+//
+//   - Acquire returns a buffer of exactly the requested shape. Image and
+//     Buf contents are UNDEFINED (stages overwrite every element before
+//     reading); Volume contents are zeroed, because back-projection
+//     accumulates into its destination.
+//   - The acquiring stage owns the buffer until it either releases it or
+//     hands it to the next pipeline stage, which then owns it. Exactly one
+//     owner releases; double release is a caller bug (it would alias two
+//     future acquisitions).
+//   - Release is optional for correctness — a buffer that escapes (e.g. a
+//     volume stored in the result cache and handed to HTTP clients) is
+//     simply never released and becomes ordinary garbage. Only buffers that
+//     provably do not escape go back.
+//   - Pools are process-global and safe for concurrent use; sync.Pool
+//     backing means idle buffers are reclaimed by the garbage collector
+//     instead of pinning memory forever.
+
+// ImagePool pools *volume.Image by (W, H). The zero value is ready to use.
+type ImagePool struct {
+	mu   sync.Mutex
+	byWH map[[2]int]*sync.Pool
+}
+
+// Images is the shared pool for projection-sized images: filter outputs,
+// transpose buffers and pipeline staging all draw from here.
+var Images ImagePool
+
+func (p *ImagePool) pool(w, h int) *sync.Pool {
+	key := [2]int{w, h}
+	p.mu.Lock()
+	sp, ok := p.byWH[key]
+	if !ok {
+		if p.byWH == nil {
+			p.byWH = make(map[[2]int]*sync.Pool)
+		}
+		sp = &sync.Pool{New: func() any { return volume.NewImage(w, h) }}
+		p.byWH[key] = sp
+	}
+	p.mu.Unlock()
+	return sp
+}
+
+// Acquire returns a W×H image with undefined contents.
+func (p *ImagePool) Acquire(w, h int) *volume.Image {
+	return p.pool(w, h).Get().(*volume.Image)
+}
+
+// Release returns an image to the pool. The caller must not touch it again.
+func (p *ImagePool) Release(img *volume.Image) {
+	if img == nil {
+		return
+	}
+	p.pool(img.W, img.H).Put(img)
+}
+
+// VolumePool pools *volume.Volume by (Nx, Ny, Nz, Layout). The zero value
+// is ready to use.
+type VolumePool struct {
+	mu    sync.Mutex
+	byDim map[volKey]*sync.Pool
+}
+
+type volKey struct {
+	nx, ny, nz int
+	layout     volume.Layout
+}
+
+// Volumes is the shared pool for working volumes: per-rank slab pairs and
+// intermediate k-major reconstructions.
+var Volumes VolumePool
+
+func (p *VolumePool) pool(nx, ny, nz int, layout volume.Layout) *sync.Pool {
+	key := volKey{nx, ny, nz, layout}
+	p.mu.Lock()
+	sp, ok := p.byDim[key]
+	if !ok {
+		if p.byDim == nil {
+			p.byDim = make(map[volKey]*sync.Pool)
+		}
+		sp = &sync.Pool{New: func() any { return volume.New(nx, ny, nz, layout) }}
+		p.byDim[key] = sp
+	}
+	p.mu.Unlock()
+	return sp
+}
+
+// Acquire returns a zeroed volume (back-projection accumulates, so reused
+// slabs must not leak a previous job's voxels).
+func (p *VolumePool) Acquire(nx, ny, nz int, layout volume.Layout) *volume.Volume {
+	v := p.pool(nx, ny, nz, layout).Get().(*volume.Volume)
+	clear(v.Data)
+	return v
+}
+
+// Release returns a volume to the pool. The caller must not touch it again.
+func (p *VolumePool) Release(v *volume.Volume) {
+	if v == nil {
+		return
+	}
+	p.pool(v.Nx, v.Ny, v.Nz, v.Layout).Put(v)
+}
+
+// Buf is a pooled fixed-length slice. It is returned by pointer so that
+// putting it back into the underlying sync.Pool does not allocate a box for
+// the slice header (the cost this package exists to eliminate).
+type Buf[T any] struct {
+	Data []T
+	home *sync.Pool
+}
+
+// Release returns the buffer to its pool. The caller must not touch Data
+// again.
+func (b *Buf[T]) Release() {
+	if b != nil {
+		b.home.Put(b)
+	}
+}
+
+// BufPool pools fixed-length []T scratch buffers by exact length: FFT
+// scratch rows, per-worker register files, per-batch matrix tables. The
+// zero value is ready to use.
+type BufPool[T any] struct {
+	mu    sync.Mutex
+	byLen map[int]*sync.Pool
+}
+
+func (p *BufPool[T]) pool(n int) *sync.Pool {
+	p.mu.Lock()
+	sp, ok := p.byLen[n]
+	if !ok {
+		if p.byLen == nil {
+			p.byLen = make(map[int]*sync.Pool)
+		}
+		sp = new(sync.Pool)
+		sp.New = func() any { return &Buf[T]{Data: make([]T, n), home: sp} }
+		p.byLen[n] = sp
+	}
+	p.mu.Unlock()
+	return sp
+}
+
+// Acquire returns a length-n buffer with undefined contents.
+func (p *BufPool[T]) Acquire(n int) *Buf[T] {
+	return p.pool(n).Get().(*Buf[T])
+}

@@ -1,0 +1,201 @@
+package fft
+
+// Single-precision transforms for the filtering hot path.
+//
+// The ramp-filter convolution operates on real float32 detector rows, yet
+// the original pipeline widened every row to complex128, transformed, and
+// narrowed back — 4× the memory traffic the data requires. This file
+// provides the two primitives that remove that round trip:
+//
+//   - Plan32, an iterative radix-2 transform over complex64 (same butterfly
+//     structure as Plan, single precision), and
+//   - RealPlan, a half-spectrum real FFT: an n-point real transform computed
+//     as an n/2-point complex transform of packed even/odd samples plus an
+//     O(n) unpack (the classic "realft" split). Only the n/2+1 independent
+//     bins are produced; the conjugate-symmetric upper half is implicit.
+//
+// Plans are safe for concurrent use: all state is read-only after
+// construction, and callers supply their own scratch.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan32 caches twiddle factors and the bit-reversal permutation for a
+// fixed power-of-two complex64 transform length.
+type Plan32 struct {
+	n       int
+	perm    []int32
+	twiddle []complex64 // forward twiddles: exp(-2πi k / n), k < n/2
+}
+
+// NewPlan32 builds a single-precision plan for length n (a power of two
+// ≥ 1). Twiddles are evaluated in float64 and rounded once, so the only
+// single-precision error is in the butterflies themselves.
+func NewPlan32(n int) (*Plan32, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: plan length %d is not a power of two", n)
+	}
+	logN := bits.TrailingZeros(uint(n))
+	p := &Plan32{n: n}
+	p.perm = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(bits.Reverse32(uint32(i)) >> (32 - logN))
+	}
+	p.twiddle = make([]complex64, n/2)
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+	}
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *Plan32) N() int { return p.n }
+
+// Forward computes the in-place DFT of x (len(x) must equal the plan
+// length).
+func (p *Plan32) Forward(x []complex64) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse DFT including the 1/n scaling.
+func (p *Plan32) Inverse(x []complex64) {
+	p.transform(x, true)
+	inv := float32(1) / float32(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	}
+}
+
+func (p *Plan32) transform(x []complex64, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), p.n))
+	}
+	for i, j := range p.perm {
+		if int32(i) < j {
+			x[i], x[int(j)] = x[int(j)], x[i]
+		}
+	}
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// RealPlan computes forward and inverse DFTs of real float32 signals of a
+// fixed power-of-two length n ≥ 2, producing/consuming only the half
+// spectrum X[0..n/2] (n/2+1 complex64 bins; the remaining bins are the
+// conjugate mirror X[n-k] = conj(X[k]) and are never materialized).
+type RealPlan struct {
+	n    int
+	half *Plan32     // n/2-point complex transform of packed samples
+	w    []complex64 // unpack twiddles: exp(-2πi k / n), k ≤ n/4
+}
+
+// NewRealPlan builds a real-input plan for length n, a power of two ≥ 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: real plan length %d is not a power of two ≥ 2", n)
+	}
+	half, err := NewPlan32(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	p := &RealPlan{n: n, half: half}
+	p.w = make([]complex64, n/4+1)
+	for k := range p.w {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+	}
+	return p, nil
+}
+
+// N returns the real transform length.
+func (p *RealPlan) N() int { return p.n }
+
+// HalfLen returns the number of spectrum bins, n/2 + 1.
+func (p *RealPlan) HalfLen() int { return p.n/2 + 1 }
+
+// Forward computes the half spectrum of the real signal src (length n) into
+// dst (length ≥ n/2+1). dst doubles as the working buffer, so src and dst
+// must not alias. dst[0] and dst[n/2] have zero imaginary parts.
+func (p *RealPlan) Forward(dst []complex64, src []float32) {
+	m := p.n / 2
+	if len(src) != p.n {
+		panic(fmt.Sprintf("fft: real input length %d does not match plan length %d", len(src), p.n))
+	}
+	if len(dst) < m+1 {
+		panic(fmt.Sprintf("fft: spectrum buffer %d too short for %d bins", len(dst), m+1))
+	}
+	// Pack even/odd samples: z[j] = x[2j] + i·x[2j+1].
+	z := dst[:m]
+	for j := 0; j < m; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(z)
+	// Unpack. With E/O the DFTs of the even/odd subsequences:
+	//   Z[k] = E[k] + i·O[k],  conj(Z[m-k]) = E[k] - i·O[k]
+	//   X[k]   = E[k] + w^k·O[k]
+	//   X[m-k] = conj(E[k] - w^k·O[k])
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= m/2; k++ {
+		a, b := z[k], z[m-k]
+		e := complex(0.5*(real(a)+real(b)), 0.5*(imag(a)-imag(b))) // E[k]
+		o := complex(0.5*(imag(a)+imag(b)), 0.5*(real(b)-real(a))) // O[k] = -i·(a-conj(b))/2
+		wo := p.w[k] * o
+		dst[k] = e + wo
+		dst[m-k] = complex(real(e)-real(wo), imag(wo)-imag(e)) // conj(E - w·O)
+	}
+}
+
+// Inverse reconstructs the real signal (length n) from the half spectrum
+// spec (length ≥ n/2+1), including the 1/n scaling, so
+// Inverse(dst, Forward(spec, dst)) round-trips. The imaginary parts of
+// spec[0] and spec[n/2] are ignored (they are zero for any real signal).
+// spec is consumed as scratch: its contents are undefined afterwards.
+func (p *RealPlan) Inverse(dst []float32, spec []complex64) {
+	m := p.n / 2
+	if len(dst) != p.n {
+		panic(fmt.Sprintf("fft: real output length %d does not match plan length %d", len(dst), p.n))
+	}
+	if len(spec) < m+1 {
+		panic(fmt.Sprintf("fft: spectrum buffer %d too short for %d bins", len(spec), m+1))
+	}
+	// Repack the half spectrum into the m-point spectrum of z:
+	//   E[k] = (X[k] + conj(X[m-k]))/2
+	//   O[k] = conj(w^k)·(X[k] - conj(X[m-k]))/2
+	//   Z[k] = E[k] + i·O[k]
+	x0, xm := real(spec[0]), real(spec[m])
+	spec[0] = complex(0.5*(x0+xm), 0.5*(x0-xm))
+	for k := 1; k <= m/2; k++ {
+		a, b := spec[k], spec[m-k]
+		e := complex(0.5*(real(a)+real(b)), 0.5*(imag(a)-imag(b)))
+		wo := complex(0.5*(real(a)-real(b)), 0.5*(imag(a)+imag(b))) // w^k·O[k]
+		w := p.w[k]
+		o := complex(real(w), -imag(w)) * wo // conj(w^k)·(w^k·O[k])
+		// Z[k] = E + i·O; Z[m-k] = conj(E) + i·conj(O).
+		spec[k] = complex(real(e)-imag(o), imag(e)+real(o))
+		spec[m-k] = complex(real(e)+imag(o), real(o)-imag(e))
+	}
+	z := spec[:m]
+	p.half.Inverse(z)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+}

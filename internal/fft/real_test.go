@@ -1,0 +1,181 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxMag returns the largest magnitude in a complex128 slice, for relative
+// error scaling.
+func maxMag(x []complex128) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Hypot(real(v), imag(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// The half spectrum must match the complex128 reference transform of the
+// same real signal within single-precision tolerance.
+func TestRealPlanForwardMatchesComplex128(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 64, 256, 2048} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.N() != n || rp.HalfLen() != n/2+1 {
+			t.Fatalf("n=%d: N/HalfLen = %d/%d", n, rp.N(), rp.HalfLen())
+		}
+		src := make([]float32, n)
+		ref := make([]complex128, n)
+		for i := range src {
+			src[i] = rng.Float32()*2 - 1
+			ref[i] = complex(float64(src[i]), 0)
+		}
+		p, _ := NewPlan(n)
+		p.Forward(ref)
+		dst := make([]complex64, rp.HalfLen())
+		rp.Forward(dst, src)
+		tol := 1e-5 * (1 + maxMag(ref))
+		for k := 0; k <= n/2; k++ {
+			dr := float64(real(dst[k])) - real(ref[k])
+			di := float64(imag(dst[k])) - imag(ref[k])
+			if math.Hypot(dr, di) > tol {
+				t.Errorf("n=%d bin %d: rfft %v, reference %v", n, k, dst[k], ref[k])
+			}
+		}
+		if imag(dst[0]) != 0 || imag(dst[n/2]) != 0 {
+			t.Errorf("n=%d: DC/Nyquist bins not purely real: %v %v", n, dst[0], dst[n/2])
+		}
+	}
+}
+
+// Inverse(Forward(x)) must reproduce x within single-precision rounding.
+func TestRealPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 16, 128, 1024} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([]float32, n)
+		var peak float64
+		for i := range src {
+			src[i] = rng.Float32()*20 - 10
+			if a := math.Abs(float64(src[i])); a > peak {
+				peak = a
+			}
+		}
+		spec := make([]complex64, rp.HalfLen())
+		rp.Forward(spec, src)
+		got := make([]float32, n)
+		rp.Inverse(got, spec)
+		tol := 1e-5 * (1 + peak)
+		for i := range src {
+			if math.Abs(float64(got[i]-src[i])) > tol {
+				t.Errorf("n=%d: sample %d round-tripped %g -> %g", n, i, src[i], got[i])
+			}
+		}
+	}
+}
+
+// Point-wise multiplication in the half spectrum must implement circular
+// convolution with a real even kernel — the exact operation the ramp filter
+// performs.
+func TestRealPlanSpectralMultiplyConvolves(t *testing.T) {
+	const n = 64
+	rp, _ := NewRealPlan(n)
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float32, n)
+	h := make([]float32, n)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	// Even kernel → real spectrum.
+	h[0] = 1
+	h[1], h[n-1] = 0.5, 0.5
+	h[3], h[n-3] = -0.25, -0.25
+
+	// Reference circular convolution in float64.
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += float64(x[j]) * float64(h[(i-j+n)%n])
+		}
+	}
+
+	hx := make([]complex64, rp.HalfLen())
+	rp.Forward(hx, h)
+	spec := make([]complex64, rp.HalfLen())
+	rp.Forward(spec, x)
+	for k := range spec {
+		spec[k] *= complex(real(hx[k]), 0) // kernel spectrum is real
+	}
+	got := make([]float32, n)
+	rp.Inverse(got, spec)
+	for i := range got {
+		if math.Abs(float64(got[i])-want[i]) > 1e-4 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRealPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12, -8} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) should fail", n)
+		}
+	}
+	if _, err := NewPlan32(3); err == nil {
+		t.Error("NewPlan32(3) should fail")
+	}
+}
+
+func TestPlan32MatchesPlan(t *testing.T) {
+	const n = 128
+	p64, _ := NewPlan(n)
+	p32, _ := NewPlan32(n)
+	rng := rand.New(rand.NewSource(5))
+	x64 := make([]complex128, n)
+	x32 := make([]complex64, n)
+	for i := range x64 {
+		re, im := rng.Float32()*2-1, rng.Float32()*2-1
+		x64[i] = complex(float64(re), float64(im))
+		x32[i] = complex(re, im)
+	}
+	p64.Forward(x64)
+	p32.Forward(x32)
+	tol := 1e-5 * (1 + maxMag(x64))
+	for i := range x64 {
+		dr := float64(real(x32[i])) - real(x64[i])
+		di := float64(imag(x32[i])) - imag(x64[i])
+		if math.Hypot(dr, di) > tol {
+			t.Fatalf("bin %d: %v vs %v", i, x32[i], x64[i])
+		}
+	}
+}
+
+func TestPlan32RoundTrip(t *testing.T) {
+	const n = 64
+	p, _ := NewPlan32(n)
+	rng := rand.New(rand.NewSource(9))
+	x := make([]complex64, n)
+	orig := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+		orig[i] = x[i]
+	}
+	p.Forward(x)
+	p.Inverse(x)
+	for i := range x {
+		dr := float64(real(x[i]) - real(orig[i]))
+		di := float64(imag(x[i]) - imag(orig[i]))
+		if math.Hypot(dr, di) > 1e-5 {
+			t.Fatalf("sample %d round-tripped %v -> %v", i, orig[i], x[i])
+		}
+	}
+}

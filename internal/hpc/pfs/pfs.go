@@ -152,6 +152,19 @@ func (p *PFS) Write(path string, data []byte) (time.Duration, error) {
 // Read returns a copy of the object at path and the simulated transfer
 // time.
 func (p *PFS) Read(path string) ([]byte, time.Duration, error) {
+	data, d, err := p.peek(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, d, nil
+}
+
+// peek accounts for a read and returns the stored payload without copying
+// it. Safe to hand out because Write replaces payloads wholesale and never
+// mutates them in place; callers must treat the slice as read-only.
+func (p *PFS) peek(path string) ([]byte, time.Duration, error) {
 	p.mu.Lock()
 	data, ok := p.objects[path]
 	var d time.Duration
@@ -165,12 +178,10 @@ func (p *PFS) Read(path string) ([]byte, time.Duration, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("pfs: no object %q", path)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	if p.cfg.Throttle {
 		time.Sleep(d)
 	}
-	return cp, d, nil
+	return data, d, nil
 }
 
 // Exists reports whether an object is stored at path.

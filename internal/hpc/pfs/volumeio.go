@@ -34,6 +34,27 @@ func (p *PFS) ReadProjection(prefix string, s int) (*volume.Image, time.Duration
 	return p.ReadImage(ProjectionPath(prefix, s))
 }
 
+// ReadProjectionInto loads one projection into dst, whose dimensions must
+// match the stored image. See ReadImageInto.
+func (p *PFS) ReadProjectionInto(dst *volume.Image, prefix string, s int) (time.Duration, error) {
+	return p.ReadImageInto(dst, ProjectionPath(prefix, s))
+}
+
+// ReadImageInto decodes the object at path directly into dst: the stats and
+// simulated timing of a Read with none of its allocations. It is safe
+// against concurrent writers because Write replaces an object's payload
+// wholesale and never mutates it in place.
+func (p *PFS) ReadImageInto(dst *volume.Image, path string) (time.Duration, error) {
+	blob, d, err := p.peek(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := volume.ImageFromBytesInto(dst, blob); err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
 // ReadImage loads any image object by full path.
 func (p *PFS) ReadImage(path string) (*volume.Image, time.Duration, error) {
 	blob, d, err := p.Read(path)

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-count tests can skip themselves: race instrumentation
+// allocates shadow state that would fail any alloc budget.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

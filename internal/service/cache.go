@@ -43,27 +43,49 @@ func CacheKey(cfg core.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Cache is a fixed-capacity LRU over reconstruction results. It is the
+// Cache is a byte-budgeted LRU over reconstruction results. It is the
 // serving-layer realization of "instant": a repeated identical request
 // costs one map lookup instead of a full pipeline run.
+//
+// Eviction is by total payload bytes, not entry count: entries are whole
+// volumes whose sizes span orders of magnitude (a 64³ preview is 1 MiB, a
+// 1024³ render is 4 GiB), so a count cap either starves small workloads or
+// lets a handful of large ones blow the heap. An entry larger than the
+// whole budget is not cached at all.
+//
+// Cached volumes are never returned to the engine buffer pools, even on
+// eviction: entries escape to HTTP handlers and job records, and the cache
+// cannot prove no reader remains. They become ordinary garbage instead.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   int64
-	misses int64
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
 }
 
 type cacheItem struct {
 	key   string
 	entry *Entry
+	size  int64
 }
 
-// NewCache creates an LRU holding at most capacity entries; capacity < 1
+// entrySize is the retained footprint of one entry: the volume payload plus
+// a fixed overhead for the Entry/list/map bookkeeping.
+func entrySize(e *Entry) int64 {
+	const overhead = 512
+	if e == nil || e.Volume == nil {
+		return overhead
+	}
+	return overhead + e.Volume.Bytes()
+}
+
+// NewCache creates an LRU holding at most maxBytes of results; maxBytes < 1
 // disables caching (every Get misses, Put is a no-op).
-func NewCache(capacity int) *Cache {
-	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
 // Get returns the entry for key, promoting it to most recently used.
@@ -79,37 +101,51 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	return nil, false
 }
 
-// Put stores an entry, evicting the least recently used when full.
+// Put stores an entry, evicting least recently used entries until the
+// byte budget holds. Entries that alone exceed the budget are not stored
+// (and replace-in-place with an oversized entry removes the old one).
 func (c *Cache) Put(key string, e *Entry) {
-	if c.cap < 1 {
+	if c.maxBytes < 1 {
 		return
 	}
+	size := entrySize(e)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheItem).entry = e
-		c.ll.MoveToFront(el)
+		c.removeLocked(el)
+	}
+	if size > c.maxBytes {
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheItem).key)
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e, size: size})
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		c.removeLocked(c.ll.Back())
 	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	it := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.bytes -= it.size
 }
 
 // CacheStats is a counters snapshot.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
-	Cap     int   `json:"cap"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
 }
 
-// Stats returns a snapshot of the hit/miss counters and occupancy.
+// Stats returns a snapshot of the hit/miss counters and occupancy. A
+// disabled cache (negative budget) reports MaxBytes 0 so consumers never
+// see the sentinel as a size.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Cap: c.cap}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(),
+		Bytes: c.bytes, MaxBytes: max(c.maxBytes, 0)}
 }

@@ -5,6 +5,7 @@ import (
 
 	"ifdk/internal/core"
 	"ifdk/internal/ct/geometry"
+	"ifdk/internal/volume"
 )
 
 func testCfg(nx int) core.Config {
@@ -41,17 +42,23 @@ func TestCacheKeyNormalization(t *testing.T) {
 	}
 }
 
+// entryOfSize builds an entry whose volume payload is nx³ voxels.
+func entryOfSize(nx int) *Entry {
+	return &Entry{Volume: volume.New(nx, nx, nx, volume.IMajor)}
+}
+
 func TestCacheHitMissAndLRU(t *testing.T) {
-	c := NewCache(2)
+	// Budget fits two 16³ volumes (16 KiB each + overhead) but not three.
+	c := NewCache(2*(16*16*16*4) + 2048)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Put("a", &Entry{})
-	c.Put("b", &Entry{})
+	c.Put("a", entryOfSize(16))
+	c.Put("b", entryOfSize(16))
 	if _, ok := c.Get("a"); !ok { // promotes a
 		t.Fatal("miss on a")
 	}
-	c.Put("c", &Entry{}) // evicts b (LRU)
+	c.Put("c", entryOfSize(16)) // over budget: evicts b (LRU)
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction")
 	}
@@ -61,6 +68,74 @@ func TestCacheHitMissAndLRU(t *testing.T) {
 	st := c.Stats()
 	if st.Entries != 2 || st.Hits != 2 || st.Misses != 2 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("byte accounting out of range: %+v", st)
+	}
+}
+
+// One large entry must evict many small ones — the scenario a count-based
+// cap gets wrong in both directions.
+func TestCacheEvictsByBytesNotCount(t *testing.T) {
+	small := entryOfSize(8) // 2 KiB payload
+	budget := 10*entrySize(small) + entrySize(entryOfSize(16))
+	c := NewCache(budget)
+	for _, k := range []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"} {
+		c.Put(k, entryOfSize(8))
+	}
+	if st := c.Stats(); st.Entries != 10 {
+		t.Fatalf("expected all 10 small entries resident, got %+v", st)
+	}
+	// A 16³ entry fits the remaining headroom without evicting anything.
+	c.Put("big", entryOfSize(16))
+	if st := c.Stats(); st.Entries != 11 {
+		t.Fatalf("big entry should coexist: %+v", st)
+	}
+	// A 20³ entry (~32 KiB, within budget but larger than the remaining
+	// headroom) must displace older entries, count be damned.
+	c.Put("huge", entryOfSize(20))
+	st := c.Stats()
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("huge entry not cached")
+	}
+	if st.Entries >= 11 {
+		t.Fatalf("no eviction happened: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}
+
+// An entry larger than the whole budget is not cached, and replacing an
+// existing key with such an entry removes the stale value.
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	small := entryOfSize(8)
+	c := NewCache(entrySize(small) + 1)
+	c.Put("a", small)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("small entry not cached")
+	}
+	c.Put("a", entryOfSize(32)) // oversized replacement
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oversized replacement left a stale entry readable")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversized replace = %+v", st)
+	}
+}
+
+// Replacing an entry in place must adjust the byte account.
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("a", entryOfSize(8))
+	before := c.Stats().Bytes
+	c.Put("a", entryOfSize(16))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("replace duplicated the entry: %+v", st)
+	}
+	if st.Bytes <= before {
+		t.Fatalf("bytes not adjusted on replace: %d -> %d", before, st.Bytes)
 	}
 }
 

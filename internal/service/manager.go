@@ -11,17 +11,18 @@ import (
 	"ifdk/internal/core"
 	"ifdk/internal/ct/fdk"
 	"ifdk/internal/ct/projector"
+	"ifdk/internal/engine"
 	"ifdk/internal/hpc/pfs"
 	"ifdk/internal/volume"
 )
 
 // Options configures a Manager.
 type Options struct {
-	Workers  int        // concurrent reconstructions (default 2)
-	QueueCap int        // bounded admission queue (default 4·Workers)
-	CacheCap int        // result-cache entries (default 64)
-	MaxJobs  int        // retained job records; oldest terminal ones are pruned (default 1024)
-	PFS      pfs.Config // simulated storage backing all jobs (zero = defaults)
+	Workers    int        // concurrent reconstructions (default 2)
+	QueueCap   int        // bounded admission queue (default 4·Workers)
+	CacheBytes int64      // result-cache budget in bytes (default 1 GiB, < 0 disables)
+	MaxJobs    int        // retained job records; oldest terminal ones are pruned (default 1024)
+	PFS        pfs.Config // simulated storage backing all jobs (zero = defaults)
 }
 
 func (o Options) withDefaults() Options {
@@ -31,8 +32,8 @@ func (o Options) withDefaults() Options {
 	if o.QueueCap < 1 {
 		o.QueueCap = 4 * o.Workers
 	}
-	if o.CacheCap == 0 {
-		o.CacheCap = 64
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 1 << 30
 	}
 	if o.MaxJobs < 1 {
 		o.MaxJobs = 1024
@@ -84,7 +85,7 @@ func NewManager(opt Options) *Manager {
 		opt:     opt,
 		store:   pfs.New(opt.PFS),
 		queue:   NewQueue(opt.QueueCap),
-		cache:   NewCache(opt.CacheCap),
+		cache:   NewCache(opt.CacheBytes),
 		jobs:    make(map[string]*Job),
 		staged:  make(map[string]*stageState),
 		open:    true,
@@ -419,15 +420,26 @@ func (m *Manager) stageDataset(ctx context.Context, j *Job) error {
 
 // verifyAgainstSerial recomputes the volume with the serial FDK pipeline
 // and records the relative RMSE (the paper's < 1e-5 equivalence check).
+// The working set — the staged projections and the reference volume — is
+// transient, so all of it cycles through the engine pools; only the
+// client-facing result volume in the Entry stays unpooled (it escapes to
+// the cache and HTTP handlers).
 func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) error {
 	g := j.cfg.Geometry
 	proj := make([]*volume.Image, g.Np)
+	release := func() {
+		for _, img := range proj {
+			engine.Images.Release(img) // nil-safe
+		}
+	}
+	defer release()
 	for s := range proj {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		img, _, err := m.store.ReadProjection(j.cfg.InputPrefix, s)
-		if err != nil {
+		img := engine.Images.Acquire(g.Nu, g.Nv)
+		if _, err := m.store.ReadProjectionInto(img, j.cfg.InputPrefix, s); err != nil {
+			engine.Images.Release(img)
 			return err
 		}
 		proj[s] = img
@@ -438,9 +450,11 @@ func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) err
 	}
 	rmse, err := volume.RMSE(ref, e.Volume)
 	if err != nil {
+		engine.Volumes.Release(ref)
 		return err
 	}
 	s := ref.Summarize()
+	engine.Volumes.Release(ref)
 	scale := math.Max(math.Abs(float64(s.Min)), math.Abs(float64(s.Max)))
 	if scale > 0 {
 		rmse /= scale

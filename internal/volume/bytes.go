@@ -42,17 +42,44 @@ func ImageToBytes(m *Image) []byte {
 
 // ImageFromBytes reverses ImageToBytes.
 func ImageFromBytes(src []byte) (*Image, error) {
-	if len(src) < 8 {
-		return nil, fmt.Errorf("volume: image blob too short (%d bytes)", len(src))
-	}
-	w := int(binary.LittleEndian.Uint32(src[0:]))
-	h := int(binary.LittleEndian.Uint32(src[4:]))
-	if w <= 0 || h <= 0 || len(src) != 8+4*w*h {
-		return nil, fmt.Errorf("volume: image blob header %dx%d inconsistent with %d bytes", w, h, len(src))
+	w, h, err := imageHeader(src)
+	if err != nil {
+		return nil, err
 	}
 	img := NewImage(w, h)
-	for n := range img.Data {
-		img.Data[n] = math.Float32frombits(binary.LittleEndian.Uint32(src[8+4*n:]))
-	}
+	decodePayload(img.Data, src)
 	return img, nil
+}
+
+// ImageFromBytesInto decodes a blob into dst, whose dimensions must match
+// the encoded header. It is the allocation-free sibling of ImageFromBytes:
+// the pipeline decodes each staged projection into a pooled image.
+func ImageFromBytesInto(dst *Image, src []byte) error {
+	w, h, err := imageHeader(src)
+	if err != nil {
+		return err
+	}
+	if w != dst.W || h != dst.H {
+		return fmt.Errorf("volume: image blob is %dx%d, destination is %dx%d", w, h, dst.W, dst.H)
+	}
+	decodePayload(dst.Data, src)
+	return nil
+}
+
+func imageHeader(src []byte) (w, h int, err error) {
+	if len(src) < 8 {
+		return 0, 0, fmt.Errorf("volume: image blob too short (%d bytes)", len(src))
+	}
+	w = int(binary.LittleEndian.Uint32(src[0:]))
+	h = int(binary.LittleEndian.Uint32(src[4:]))
+	if w <= 0 || h <= 0 || len(src) != 8+4*w*h {
+		return 0, 0, fmt.Errorf("volume: image blob header %dx%d inconsistent with %d bytes", w, h, len(src))
+	}
+	return w, h, nil
+}
+
+func decodePayload(dst []float32, src []byte) {
+	for n := range dst {
+		dst[n] = math.Float32frombits(binary.LittleEndian.Uint32(src[8+4*n:]))
+	}
 }

@@ -47,6 +47,18 @@ func (m *Image) Clone() *Image {
 // walked by the Z-symmetric inner loop — become contiguous.
 func (m *Image) Transpose() *Image {
 	out := NewImage(m.H, m.W)
+	m.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes the transpose into dst, which must be H×W. Every
+// destination pixel is overwritten, so dst may come from a buffer pool with
+// undefined contents.
+func (m *Image) TransposeInto(dst *Image) {
+	if dst.W != m.H || dst.H != m.W {
+		panic(fmt.Sprintf("volume: transpose destination %dx%d for source %dx%d",
+			dst.W, dst.H, m.W, m.H))
+	}
 	// Blocked transpose keeps both source rows and destination rows in
 	// cache for large detectors (2048²+).
 	const bs = 32
@@ -57,12 +69,11 @@ func (m *Image) Transpose() *Image {
 			for v := v0; v < v1; v++ {
 				row := m.Data[v*m.W:]
 				for u := u0; u < u1; u++ {
-					out.Data[u*m.H+v] = row[u]
+					dst.Data[u*m.H+v] = row[u]
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Summarize computes min/max/mean/std of the pixel payload.
