@@ -13,6 +13,16 @@
 // cancelled mid-flight to check teardown latency. The process exits
 // non-zero if any job fails, any verified job exceeds the paper's 1e-5
 // relative-RMSE bound, or the cancelled job does not settle promptly.
+//
+// With -mixed the generator runs the multi-client fairness scenario
+// instead: one client submits only low-priority jobs while the other
+// clients flood high-priority work, and a bulk client interleaves large
+// volumes that saturate the cost budget (-max-queued-sec). Success requires
+// every low-priority job to complete — priority aging at work — while cheap
+// jobs keep being admitted around the budget-hogging large ones; the report
+// prints per-class wait percentiles and the admission counters.
+//
+//	ifdk-load -mixed -jobs 36 -clients 6 -workers 2 -max-queued-sec 3
 package main
 
 import (
@@ -40,19 +50,42 @@ type result struct {
 	err     error
 }
 
+type loadConfig struct {
+	addr         string
+	jobs         int
+	clients      int
+	nx           int
+	dupEvery     int
+	verifyEvery  int
+	workers      int
+	queueCap     int
+	timeout      time.Duration
+	mixed        bool
+	maxQueuedSec float64
+	quotaRPS     float64
+	aging        time.Duration
+	bigNX        int
+}
+
 func main() {
-	addr := flag.String("addr", "", "server base URL (empty = start an in-process server)")
-	jobs := flag.Int("jobs", 24, "number of jobs to submit")
-	clients := flag.Int("clients", 6, "concurrent submitting clients")
-	nx := flag.Int("nx", 16, "volume voxels per side for every job")
-	dupEvery := flag.Int("dup-every", 3, "every n-th job repeats an earlier spec (0 = never)")
-	verifyEvery := flag.Int("verify-every", 4, "every n-th job verifies against the serial reference (0 = never)")
-	workers := flag.Int("workers", 4, "worker pool size (in-process server only)")
-	queueCap := flag.Int("queue", 8, "queue capacity (in-process server only)")
-	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	var lc loadConfig
+	flag.StringVar(&lc.addr, "addr", "", "server base URL (empty = start an in-process server)")
+	flag.IntVar(&lc.jobs, "jobs", 24, "number of jobs to submit")
+	flag.IntVar(&lc.clients, "clients", 6, "concurrent submitting clients")
+	flag.IntVar(&lc.nx, "nx", 16, "volume voxels per side for every job")
+	flag.IntVar(&lc.dupEvery, "dup-every", 3, "every n-th job repeats an earlier spec (0 = never)")
+	flag.IntVar(&lc.verifyEvery, "verify-every", 4, "every n-th job verifies against the serial reference (0 = never)")
+	flag.IntVar(&lc.workers, "workers", 4, "worker pool size (in-process server only)")
+	flag.IntVar(&lc.queueCap, "queue", 8, "queue capacity (in-process server only)")
+	flag.DurationVar(&lc.timeout, "timeout", 5*time.Minute, "overall deadline")
+	flag.BoolVar(&lc.mixed, "mixed", false, "run the multi-client mixed-priority fairness scenario")
+	flag.Float64Var(&lc.maxQueuedSec, "max-queued-sec", 0.5, "queued-work cost budget for -mixed (in-process server only)")
+	flag.Float64Var(&lc.quotaRPS, "quota-rps", 0, "per-client quota for the in-process server (0 = off)")
+	flag.DurationVar(&lc.aging, "aging", 150*time.Millisecond, "priority aging step for -mixed (in-process server only)")
+	flag.IntVar(&lc.bigNX, "big-nx", 64, "volume side of the budget-saturating bulk jobs in -mixed")
 	flag.Parse()
 
-	if err := run(*addr, *jobs, *clients, *nx, *dupEvery, *verifyEvery, *workers, *queueCap, *timeout); err != nil {
+	if err := run(lc); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdk-load:", err)
 		os.Exit(1)
 	}
@@ -84,12 +117,18 @@ func specFor(i, nx, dupEvery, verifyEvery int) service.Spec {
 	return s
 }
 
-func run(addr string, jobs, clients, nx, dupEvery, verifyEvery, workers, queueCap int, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+func run(lc loadConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), lc.timeout)
 	defer cancel()
 
+	addr := lc.addr
 	if addr == "" {
-		m := service.NewManager(service.Options{Workers: workers, QueueCap: queueCap})
+		opt := service.Options{Workers: lc.workers, QueueCap: lc.queueCap, QuotaRPS: lc.quotaRPS}
+		if lc.mixed {
+			opt.MaxQueuedSec = lc.maxQueuedSec
+			opt.Aging = lc.aging
+		}
+		m := service.NewManager(opt)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -103,12 +142,20 @@ func run(addr string, jobs, clients, nx, dupEvery, verifyEvery, workers, queueCa
 			m.Shutdown(shutCtx)
 		}()
 		addr = "http://" + ln.Addr().String()
-		fmt.Printf("in-process server on %s (%d workers, queue %d)\n", addr, workers, queueCap)
+		fmt.Printf("in-process server on %s (%d workers, queue %d", addr, lc.workers, lc.queueCap)
+		if lc.mixed {
+			fmt.Printf(", budget %gs, aging %v", lc.maxQueuedSec, lc.aging)
+		}
+		fmt.Println(")")
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	fmt.Printf("submitting %d jobs from %d clients (nx=%d, dup every %d, verify every %d)\n",
-		jobs, clients, nx, dupEvery, verifyEvery)
+	mode := "uniform"
+	if lc.mixed {
+		mode = "mixed-priority fairness"
+	}
+	fmt.Printf("submitting %d jobs from %d clients (%s, nx=%d, dup every %d, verify every %d)\n",
+		lc.jobs, lc.clients, mode, lc.nx, lc.dupEvery, lc.verifyEvery)
 
 	var (
 		wg        sync.WaitGroup
@@ -118,37 +165,84 @@ func run(addr string, jobs, clients, nx, dupEvery, verifyEvery, workers, queueCa
 		jobIdx    atomic.Int64
 		wallStart = time.Now()
 	)
-	for c := 0; c < clients; c++ {
+	for c := 0; c < lc.clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for {
 				i := int(jobIdx.Add(1)) - 1
-				if i >= jobs {
+				if i >= lc.jobs {
 					return
 				}
-				r := driveJob(ctx, client, addr, specFor(i, nx, dupEvery, verifyEvery))
+				spec := specFor(i, lc.nx, lc.dupEvery, lc.verifyEvery)
+				if lc.mixed {
+					spec.Client = fmt.Sprintf("client-%d", c)
+					// Client 0 is the background tenant: everything it
+					// submits is low priority. Everyone else floods high.
+					if c == 0 {
+						spec.Priority = "low"
+					} else {
+						spec.Priority = "high"
+						spec.Verify = false // keep the flood cheap
+					}
+				}
+				r := driveJob(ctx, client, addr, spec)
 				retries.Add(int64(r.retries))
 				resMu.Lock()
 				results = append(results, r)
 				resMu.Unlock()
 			}
-		}()
+		}(c)
+	}
+
+	// In mixed mode a bulk client bursts large volumes whose cost estimates
+	// saturate the queued-work budget: all but the first shed 503s and
+	// retry while the cheap stream keeps flowing around them. The burst
+	// waits out a short warmup so the server's cost calibration has seen a
+	// few completed runs (estimates start at the raw model scale).
+	var bulk []result
+	var bulkMu sync.Mutex
+	var bulkWG sync.WaitGroup
+	if lc.mixed {
+		const burst = 3
+		for b := 0; b < burst; b++ {
+			bulkWG.Add(1)
+			go func(b int) {
+				defer bulkWG.Done()
+				time.Sleep(400*time.Millisecond + time.Duration(b)*10*time.Millisecond)
+				spec := service.Spec{
+					Phantom:  "industrial",
+					NX:       lc.bigNX,
+					NP:       2 * lc.bigNX,
+					R:        2,
+					C:        2,
+					Priority: "normal",
+					Client:   "bulk",
+				}
+				r := driveJob(ctx, client, addr, spec)
+				retries.Add(int64(r.retries))
+				bulkMu.Lock()
+				bulk = append(bulk, r)
+				bulkMu.Unlock()
+			}(b)
+		}
 	}
 
 	// One extra job is cancelled mid-flight to measure teardown latency.
 	cancelRes := make(chan error, 1)
-	go func() { cancelRes <- cancelProbe(ctx, client, addr, nx) }()
+	go func() { cancelRes <- cancelProbe(ctx, client, addr, lc.nx) }()
 
 	wg.Wait()
+	bulkWG.Wait()
 	wall := time.Since(wallStart)
 	cancelErr := <-cancelRes
 
-	return report(client, addr, results, wall, retries.Load(), cancelErr)
+	results = append(results, bulk...)
+	return report(client, addr, lc, results, wall, retries.Load(), cancelErr)
 }
 
-// driveJob submits one spec (retrying 503 backpressure with backoff) and
-// polls it to a terminal state.
+// driveJob submits one spec (retrying 503 backpressure and 429 quota with
+// backoff) and polls it to a terminal state.
 func driveJob(ctx context.Context, client *http.Client, addr string, spec service.Spec) result {
 	body, _ := json.Marshal(spec)
 	start := time.Now()
@@ -163,7 +257,7 @@ func driveJob(ctx context.Context, client *http.Client, addr string, spec servic
 			r.err = err
 			return r
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 			resp.Body.Close()
 			r.retries++
 			time.Sleep(25 * time.Millisecond)
@@ -216,7 +310,7 @@ func driveJob(ctx context.Context, client *http.Client, addr string, spec servic
 // cancelProbe submits a job and cancels it immediately, checking that the
 // service settles it quickly.
 func cancelProbe(ctx context.Context, client *http.Client, addr string, nx int) error {
-	spec := service.Spec{Phantom: "sphere", NX: nx, NP: 8 * nx, R: 2, C: 2, Priority: "low"}
+	spec := service.Spec{Phantom: "sphere", NX: nx, NP: 8 * nx, R: 2, C: 2, Priority: "low", Client: "probe"}
 	body, _ := json.Marshal(spec)
 	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -272,15 +366,23 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(client *http.Client, addr string, results []result, wall time.Duration, retries int64, cancelErr error) error {
+func report(client *http.Client, addr string, lc loadConfig, results []result, wall time.Duration, retries int64, cancelErr error) error {
 	var lats []time.Duration
 	var failures, cacheHits, verified int
 	var worstRMSE float64
+	byClass := map[string]int{}
+	classFails := map[string]int{}
+	var maxLowWait float64
 	for _, r := range results {
 		if r.err != nil {
 			failures++
-			fmt.Printf("FAIL %s: %v\n", r.id, r.err)
+			classFails[r.view.Priority]++
+			fmt.Printf("FAIL %s (%s): %v\n", r.id, r.view.Priority, r.err)
 			continue
+		}
+		byClass[r.view.Priority]++
+		if r.view.Priority == "low" && r.view.WaitSec > maxLowWait {
+			maxLowWait = r.view.WaitSec
 		}
 		lats = append(lats, r.latency)
 		if r.view.CacheHit {
@@ -301,20 +403,36 @@ func report(client *http.Client, addr string, results []result, wall time.Durati
 	fmt.Printf("latency:     p50 %v  p90 %v  p99 %v  max %v\n",
 		percentile(lats, 0.50).Round(time.Millisecond), percentile(lats, 0.90).Round(time.Millisecond),
 		percentile(lats, 0.99).Round(time.Millisecond), percentile(lats, 1.0).Round(time.Millisecond))
-	fmt.Printf("backpressure: %d retries after 503\n", retries)
+	fmt.Printf("backpressure: %d retries after 503/429\n", retries)
 	fmt.Printf("cache hits:  %d/%d jobs\n", cacheHits, len(results))
 	fmt.Printf("verified:    %d jobs vs serial FDK, worst relative RMSE %.2e (bound 1e-5)\n", verified, worstRMSE)
 
 	if resp, err := client.Get(addr + "/v1/metrics"); err == nil {
 		var mt service.Metrics
 		if json.NewDecoder(resp.Body).Decode(&mt) == nil {
-			fmt.Printf("server:      %d workers, cache %d entries %.1f/%.1f MiB (%d hits, %d misses), PFS %.1f MB written\n",
-				mt.Workers, mt.Cache.Entries, float64(mt.Cache.Bytes)/(1<<20),
-				float64(mt.Cache.MaxBytes)/(1<<20), mt.Cache.Hits, mt.Cache.Misses, mt.PFSWriteMB)
+			fmt.Printf("server:      %d workers, %d runs + %d cache hits, cache %d entries %.1f/%.1f MiB, PFS %.1f MB written\n",
+				mt.Workers, mt.Completed, mt.CacheHits, mt.Cache.Entries, float64(mt.Cache.Bytes)/(1<<20),
+				float64(mt.Cache.MaxBytes)/(1<<20), mt.PFSWriteMB)
+			fmt.Printf("admission:   %d admitted, rejected: %d full, %d cost, %d bytes, %d quota (cost scale %.3g)\n",
+				mt.Admission.Admitted, mt.Admission.RejectedFull, mt.Admission.RejectedCost,
+				mt.Admission.RejectedBytes, mt.Admission.RejectedQuota, mt.CostScale)
+			for _, class := range []string{"high", "normal", "low"} {
+				if ws, ok := mt.WaitSec[class]; ok {
+					fmt.Printf("wait[%s]:  p50 %.3fs  p90 %.3fs  p99 %.3fs  (%d jobs)\n",
+						class, ws.P50, ws.P90, ws.P99, ws.Count)
+				}
+			}
 		}
 		resp.Body.Close()
 	}
 
+	if lc.mixed {
+		fmt.Printf("fairness:    %d low / %d normal / %d high completed; worst low-priority wait %.2fs\n",
+			byClass["low"], byClass["normal"], byClass["high"], maxLowWait)
+		if classFails["low"] > 0 {
+			return fmt.Errorf("starvation: %d low-priority jobs did not complete", classFails["low"])
+		}
+	}
 	if cancelErr != nil {
 		return cancelErr
 	}

@@ -1,14 +1,19 @@
 // Command ifdkd is the iFDK reconstruction daemon: a long-lived HTTP
 // service that schedules many concurrent distributed reconstructions on a
 // bounded worker pool, deduplicates identical requests through a result
-// cache, and serves volume slices as PNG.
+// cache, and serves volume slices as PNG. Admission is cost-aware: each
+// job's runtime and working set are estimated from the paper's performance
+// model (Sec. 4.2) at submit time and admitted against a queued-work budget
+// and per-client rate quotas, with priority aging so low-priority jobs
+// cannot starve.
 //
-//	ifdkd -addr :8080 -workers 4 -queue 16 -cache-mb 1024
+//	ifdkd -addr :8080 -workers 4 -queue 16 -cache-mb 1024 \
+//	      -max-queued-sec 30 -quota-rps 5 -aging 15s
 //
 // Quickstart:
 //
 //	curl -s -X POST localhost:8080/v1/jobs \
-//	     -d '{"phantom":"shepplogan","nx":32,"r":2,"c":2,"verify":true}'
+//	     -d '{"phantom":"shepplogan","nx":32,"r":2,"c":2,"verify":true,"client":"alice"}'
 //	curl -s localhost:8080/v1/jobs/j00000001
 //	curl -s localhost:8080/v1/jobs/j00000001/slice/16 > slice.png
 //	curl -s localhost:8080/v1/metrics
@@ -35,37 +40,62 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "concurrent reconstructions")
-	queueCap := flag.Int("queue", 16, "admission queue capacity")
+	queueCap := flag.Int("queue", 16, "admission queue capacity, jobs")
+	maxQueuedSec := flag.Float64("max-queued-sec", 0,
+		"admission cost budget: max estimated seconds of queued work (0 = unlimited)")
+	maxInflightMB := flag.Int64("max-inflight-mb", 0,
+		"admission byte budget: max estimated in-flight working set in MiB (0 = unlimited)")
+	quotaRPS := flag.Float64("quota-rps", 0,
+		"per-client submission rate limit in requests/s (0 = no quotas)")
+	aging := flag.Duration("aging", 15*time.Second,
+		"queued-job priority aging: wait per one-class priority boost (0 disables)")
 	cacheMB := flag.Int64("cache-mb", 1024, "result cache budget in MiB (<= 0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueCap, *cacheMB, *drain, *abci); err != nil {
+	opt := service.Options{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		MaxQueuedSec:     *maxQueuedSec,
+		MaxInflightBytes: *maxInflightMB << 20,
+		QuotaRPS:         *quotaRPS,
+	}
+	if *aging <= 0 {
+		opt.Aging = -1 // disabled (0 in Options means "default")
+	} else {
+		opt.Aging = *aging
+	}
+	opt.CacheBytes = *cacheMB << 20
+	if *cacheMB <= 0 {
+		opt.CacheBytes = -1 // explicit off; 0 would mean "default"
+	}
+	if *abci {
+		opt.PFS = pfs.ABCIConfig()
+	}
+
+	if err := run(*addr, opt, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdkd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueCap int, cacheMB int64, drain time.Duration, abci bool) error {
-	cacheBytes := cacheMB << 20
-	if cacheMB <= 0 {
-		cacheBytes = -1 // explicit off; 0 would mean "default"
-	}
-	opt := service.Options{Workers: workers, QueueCap: queueCap, CacheBytes: cacheBytes}
-	if abci {
-		opt.PFS = pfs.ABCIConfig()
-	}
+func run(addr string, opt service.Options, drain time.Duration) error {
 	m := service.NewManager(opt)
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(m)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	agingDesc := "off"
+	if opt.Aging > 0 {
+		agingDesc = opt.Aging.String()
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ifdkd: serving on %s (%d workers, queue %d, cache %d MiB)",
-			addr, workers, queueCap, cacheMB)
+		log.Printf("ifdkd: serving on %s (%d workers, queue %d, budget %gs/%d MiB, quota %g rps, aging %s)",
+			addr, opt.Workers, opt.QueueCap, opt.MaxQueuedSec, opt.MaxInflightBytes>>20,
+			opt.QuotaRPS, agingDesc)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}

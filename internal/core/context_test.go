@@ -10,6 +10,7 @@ import (
 	"ifdk/internal/ct/geometry"
 	"ifdk/internal/ct/phantom"
 	"ifdk/internal/ct/projector"
+	"ifdk/internal/engine"
 	"ifdk/internal/hpc/pfs"
 )
 
@@ -66,6 +67,7 @@ func TestRunContextCancelMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	baseline := runtime.NumGoroutine()
+	poolBaseline := engine.InUseBytes()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cfg := Config{
@@ -94,6 +96,12 @@ func TestRunContextCancelMidRun(t *testing.T) {
 		t.Errorf("cancellation took %v", d)
 	}
 	waitGoroutines(t, baseline)
+	// An aborted pipeline must balance its pool books: slab volumes and
+	// filtered projections stranded mid-flight go back, so the engine's
+	// in-use gauge (which feeds /v1/metrics) does not drift per cancel.
+	if got := engine.InUseBytes(); got != poolBaseline {
+		t.Errorf("pool in-use bytes drifted across a cancelled run: %d -> %d", poolBaseline, got)
+	}
 }
 
 // A pre-cancelled context fails immediately without leaking.
@@ -107,4 +115,27 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	waitGoroutines(t, baseline)
+}
+
+// StageProjectionsCtx must stop writing between projections once the
+// context is cancelled, leaving only the already-written prefix.
+func TestStageProjectionsCtxCancelled(t *testing.T) {
+	g := geometry.Default(16, 16, 8, 8, 8, 8)
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	proj := projector.AnalyticAll(ph, g, 0)
+	store := pfs.New(pfs.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := StageProjectionsCtx(ctx, store, "in", proj); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := len(store.List("in/")); n != 0 {
+		t.Errorf("%d projections written under a cancelled context", n)
+	}
+	if err := StageProjectionsCtx(context.Background(), store, "in", proj); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(store.List("in/")); n != g.Np {
+		t.Errorf("staged %d projections, want %d", n, g.Np)
+	}
 }

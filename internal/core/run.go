@@ -210,6 +210,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				return fmt.Errorf("rank %d: filtering ended early at round %d", c.Rank(), r)
 			}
 			if it.s != myLo+r {
+				engine.Images.Release(it.img)
 				return fmt.Errorf("rank %d: projection %d out of order (want %d)", c.Rank(), it.s, myLo+r)
 			}
 			agStart := time.Now()
@@ -231,19 +232,37 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 		}
 		return nil
 	}()
+	// abandon unwinds an aborted pipeline without leaking pooled buffers:
+	// filtered projections stranded in ringA and the rank's slab-pair
+	// volume go back to their pools (the engine's in-use gauges feed
+	// admission metrics, so cancelled jobs must balance their books too).
+	// ringA is closed by then, so Get drains the leftovers and reports !ok.
+	abandon := func() {
+		for {
+			it, ok := ringA.Get()
+			if !ok {
+				break
+			}
+			engine.Images.Release(it.img)
+		}
+		engine.Volumes.Release(local)
+	}
 	if mainErr != nil {
 		ringA.Close()
 		ringB.Close()
 		<-filterErr
 		<-bpErr
+		abandon()
 		return t, nil, mainErr
 	}
 	if err := <-filterErr; err != nil {
 		ringB.Close()
 		<-bpErr
+		abandon()
 		return t, nil, err
 	}
 	if err := <-bpErr; err != nil {
+		abandon()
 		return t, nil, err
 	}
 	t.Compute = time.Since(start)

@@ -12,6 +12,7 @@
 package projector
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -40,11 +41,27 @@ func Analytic(ph phantom.Phantom, g geometry.Params, s int) *volume.Image {
 // AnalyticAll renders all Np projections using the given number of worker
 // goroutines (0 means GOMAXPROCS).
 func AnalyticAll(ph phantom.Phantom, g geometry.Params, workers int) []*volume.Image {
+	out, _ := AnalyticAllCtx(context.Background(), ph, g, workers)
+	return out
+}
+
+// AnalyticAllCtx is AnalyticAll under a context: cancellation is checked
+// between projections, so a cancelled job (or a daemon shutdown) stops
+// synthesizing mid-scan instead of rendering the whole dataset. On
+// cancellation it returns ctx's error and a nil slice; already-rendered
+// projections become garbage.
+func AnalyticAllCtx(ctx context.Context, ph phantom.Phantom, g geometry.Params, workers int) ([]*volume.Image, error) {
 	out := make([]*volume.Image, g.Np)
 	parallelFor(g.Np, workers, func(s int) {
+		if ctx.Err() != nil {
+			return // drain remaining indices without rendering
+		}
 		out[s] = Analytic(ph, g, s)
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Raycast renders the projection at angle index s by marching each detector

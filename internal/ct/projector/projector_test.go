@@ -1,6 +1,8 @@
 package projector
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -142,5 +144,29 @@ func BenchmarkAnalyticProjection64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Analytic(ph, g, i%g.Np)
+	}
+}
+
+func TestAnalyticAllCtxCancelled(t *testing.T) {
+	g := testGeom()
+	ph := phantom.UniformSphere(g.FOVRadius()*0.5, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no projection may be rendered
+	imgs, err := AnalyticAllCtx(ctx, ph, g, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if imgs != nil {
+		t.Fatal("cancelled render returned projections")
+	}
+	// An alive context renders the full set, identical to AnalyticAll.
+	imgs, err = AnalyticAllCtx(context.Background(), ph, g, 2)
+	if err != nil || len(imgs) != g.Np {
+		t.Fatalf("live render: %d projections, err %v", len(imgs), err)
+	}
+	for s, img := range imgs {
+		if img == nil {
+			t.Fatalf("projection %d missing", s)
+		}
 	}
 }

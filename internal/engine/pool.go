@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ifdk/internal/volume"
 )
@@ -22,14 +23,18 @@ import (
 //     volume stored in the result cache and handed to HTTP clients) is
 //     simply never released and becomes ordinary garbage. Only buffers that
 //     provably do not escape go back.
+//   - Release accepts ONLY buffers that came from Acquire. Donating a
+//     foreign buffer would skew the in-use byte gauges (see InUseBytes)
+//     that pool-aware admission and /v1/metrics rely on.
 //   - Pools are process-global and safe for concurrent use; sync.Pool
 //     backing means idle buffers are reclaimed by the garbage collector
 //     instead of pinning memory forever.
 
 // ImagePool pools *volume.Image by (W, H). The zero value is ready to use.
 type ImagePool struct {
-	mu   sync.Mutex
-	byWH map[[2]int]*sync.Pool
+	mu    sync.Mutex
+	byWH  map[[2]int]*sync.Pool
+	inUse atomic.Int64 // bytes currently acquired and not yet released
 }
 
 // Images is the shared pool for projection-sized images: filter outputs,
@@ -53,6 +58,7 @@ func (p *ImagePool) pool(w, h int) *sync.Pool {
 
 // Acquire returns a W×H image with undefined contents.
 func (p *ImagePool) Acquire(w, h int) *volume.Image {
+	p.inUse.Add(4 * int64(w) * int64(h))
 	return p.pool(w, h).Get().(*volume.Image)
 }
 
@@ -61,14 +67,22 @@ func (p *ImagePool) Release(img *volume.Image) {
 	if img == nil {
 		return
 	}
+	p.inUse.Add(-4 * int64(img.W) * int64(img.H))
 	p.pool(img.W, img.H).Put(img)
 }
+
+// InUseBytes returns the payload bytes currently checked out of the pool
+// (acquired and not yet released). The rare buffer that escapes — acquired
+// but intentionally never released — stays counted: the gauge tracks where
+// working-set bytes went, which is what pool-aware admission wants to see.
+func (p *ImagePool) InUseBytes() int64 { return p.inUse.Load() }
 
 // VolumePool pools *volume.Volume by (Nx, Ny, Nz, Layout). The zero value
 // is ready to use.
 type VolumePool struct {
 	mu    sync.Mutex
 	byDim map[volKey]*sync.Pool
+	inUse atomic.Int64 // bytes currently acquired and not yet released
 }
 
 type volKey struct {
@@ -98,6 +112,7 @@ func (p *VolumePool) pool(nx, ny, nz int, layout volume.Layout) *sync.Pool {
 // Acquire returns a zeroed volume (back-projection accumulates, so reused
 // slabs must not leak a previous job's voxels).
 func (p *VolumePool) Acquire(nx, ny, nz int, layout volume.Layout) *volume.Volume {
+	p.inUse.Add(4 * int64(nx) * int64(ny) * int64(nz))
 	v := p.pool(nx, ny, nz, layout).Get().(*volume.Volume)
 	clear(v.Data)
 	return v
@@ -108,8 +123,19 @@ func (p *VolumePool) Release(v *volume.Volume) {
 	if v == nil {
 		return
 	}
+	p.inUse.Add(-4 * int64(v.Nx) * int64(v.Ny) * int64(v.Nz))
 	p.pool(v.Nx, v.Ny, v.Nz, v.Layout).Put(v)
 }
+
+// InUseBytes returns the payload bytes currently checked out of the pool;
+// see ImagePool.InUseBytes.
+func (p *VolumePool) InUseBytes() int64 { return p.inUse.Load() }
+
+// InUseBytes sums the bytes currently checked out of the shared image and
+// volume pools — the live working set of every in-flight reconstruction.
+// The service exposes it via /v1/metrics next to the *estimated* in-flight
+// bytes its admission accounting carries, so the two can be compared.
+func InUseBytes() int64 { return Images.InUseBytes() + Volumes.InUseBytes() }
 
 // Buf is a pooled fixed-length slice. It is returned by pointer so that
 // putting it back into the underlying sync.Pool does not allocate a box for

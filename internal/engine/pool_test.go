@@ -105,3 +105,30 @@ func TestPoolsSteadyStateAllocs(t *testing.T) {
 		t.Errorf("pool round trip allocates %.2f objects/op in steady state", avg)
 	}
 }
+
+func TestPoolInUseGauges(t *testing.T) {
+	var ip ImagePool
+	var vp VolumePool
+	if ip.InUseBytes() != 0 || vp.InUseBytes() != 0 {
+		t.Fatal("fresh pools report in-use bytes")
+	}
+	img := ip.Acquire(16, 8)
+	if got := ip.InUseBytes(); got != 4*16*8 {
+		t.Fatalf("image in-use = %d, want %d", got, 4*16*8)
+	}
+	vol := vp.Acquire(4, 4, 4, volume.KMajor)
+	if got := vp.InUseBytes(); got != 4*4*4*4 {
+		t.Fatalf("volume in-use = %d, want %d", got, 4*4*4*4)
+	}
+	ip.Release(img)
+	vp.Release(vol)
+	if ip.InUseBytes() != 0 || vp.InUseBytes() != 0 {
+		t.Fatalf("gauges nonzero after release: images %d, volumes %d",
+			ip.InUseBytes(), vp.InUseBytes())
+	}
+	ip.Release(nil) // nil release must not move the gauge
+	vp.Release(nil)
+	if ip.InUseBytes() != 0 || vp.InUseBytes() != 0 {
+		t.Fatal("nil release moved a gauge")
+	}
+}

@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ifdk/internal/core"
+	"ifdk/internal/ct/geometry"
+)
+
+func svcConfig(nx int) core.Config {
+	g := geometry.Default(2*nx, 2*nx, 2*nx, nx, nx, nx)
+	return core.Config{R: 2, C: 2, Geometry: g}
+}
+
+func TestEstimateScalesWithProblemSize(t *testing.T) {
+	small, err := Estimate(svcConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Estimate(svcConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.RunSec <= 0 || small.WorkingSetBytes <= 0 {
+		t.Fatalf("small estimate not positive: %+v", small)
+	}
+	if big.RunSec <= small.RunSec {
+		t.Errorf("runtime estimate not monotone: 64³ %g <= 16³ %g", big.RunSec, small.RunSec)
+	}
+	if big.WorkingSetBytes <= small.WorkingSetBytes {
+		t.Errorf("working set not monotone: %d <= %d", big.WorkingSetBytes, small.WorkingSetBytes)
+	}
+	// The working set covers at least the staged input plus the slab pairs
+	// and the assembled result.
+	if want := small.InputBytes + 2*small.OutputBytes; small.WorkingSetBytes < want {
+		t.Errorf("working set %d < input+2·output %d", small.WorkingSetBytes, want)
+	}
+}
+
+func TestEstimateMatchesPredict(t *testing.T) {
+	cfg := svcConfig(32)
+	est, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Geometry
+	pr := geometry.Problem{Nu: g.Nu, Nv: g.Nv, Np: g.Np, Nx: g.Nx, Ny: g.Ny, Nz: g.Nz}
+	// The facade evaluates Predict with TH_flt rescaled from the paper's
+	// 2048² measurement resolution to this problem's projection size.
+	mb := ABCI()
+	mb.THFlt *= refFltPixels / (float64(pr.Nu) * float64(pr.Nv))
+	times, err := Predict(pr, cfg.R, cfg.C, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RunSec != times.Runtime {
+		t.Errorf("Estimate.RunSec %g != Predict.Runtime %g", est.RunSec, times.Runtime)
+	}
+	if est.RunSec != est.Times.Runtime {
+		t.Errorf("RunSec %g != Times.Runtime %g", est.RunSec, est.Times.Runtime)
+	}
+	// At the measurement resolution the facade and the raw model agree.
+	big := core.Config{R: 2, C: 2, Geometry: geometry.Default(2048, 2048, 64, 64, 64, 64)}
+	bigEst, err := Estimate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigPr := geometry.Problem{Nu: 2048, Nv: 2048, Np: 64, Nx: 64, Ny: 64, Nz: 64}
+	raw, err := Predict(bigPr, 2, 2, ABCI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigEst.RunSec != raw.Runtime {
+		t.Errorf("at 2048² the facade must match the paper's model: %g != %g", bigEst.RunSec, raw.Runtime)
+	}
+	if est.InputBytes != pr.InputBytes() || est.OutputBytes != pr.OutputBytes() {
+		t.Errorf("byte accounting mismatch: %+v vs problem %v", est, pr)
+	}
+}
+
+func TestEstimateRejectsBadGrid(t *testing.T) {
+	cfg := svcConfig(16)
+	cfg.R = 0
+	if _, err := Estimate(cfg); err == nil {
+		t.Error("estimate accepted a 0-row grid")
+	}
+}

@@ -85,6 +85,7 @@ type Spec struct {
 	Window   string `json:"window"`   // ramp window name ("" → ram-lak)
 	Priority string `json:"priority"` // low | normal | high ("" → normal)
 	Verify   bool   `json:"verify"`   // compare against the serial FDK reference
+	Client   string `json:"client"`   // client id for per-client quotas ("" → "anonymous")
 }
 
 // withDefaults fills the zero fields exactly as cmd/ifdk does.
@@ -109,6 +110,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Window == "" {
 		s.Window = filter.RamLak.String()
+	}
+	if s.Client == "" {
+		s.Client = "anonymous"
 	}
 	return s
 }
@@ -207,6 +211,16 @@ type Job struct {
 	ph       phantom.Phantom
 	cfg      core.Config // InputPrefix set; OutputPrefix/Progress set per run
 	cacheKey string
+
+	// submit-time cost estimate, immutable after Submit: the raw model
+	// runtime (model seconds), the calibrated wall-clock estimate charged
+	// against the queued-work budget, and the working-set bytes charged
+	// against the in-flight byte budget.
+	estModelSec float64
+	estCost     float64 // calibrated seconds; what Queue.Push charges
+	estBytes    int64
+	charged     bool // held admission budget (byte accounting) until settled
+	settled     bool // guarded by mu; true once the admission charge is released
 }
 
 // View is the JSON representation of a job returned by the API.
@@ -225,6 +239,9 @@ type View struct {
 	Finished  string  `json:"finished,omitempty"`
 	WaitSec   float64 `json:"wait_sec"`
 	RunSec    float64 `json:"run_sec,omitempty"`
+	EstRunSec float64 `json:"est_run_sec"` // raw Sec. 4.2 model runtime (model seconds, machine-independent)
+	Cost      float64 `json:"cost"`        // calibrated seconds charged against the queued-work budget
+	EstBytes  int64   `json:"est_bytes"`   // working set charged against the byte budget
 	Stages    Stages  `json:"stages,omitempty"`
 }
 
@@ -276,6 +293,9 @@ func (j *Job) snapshot() View {
 		Submitted: fmtTime(j.submitted),
 		Started:   fmtTime(j.started),
 		Finished:  fmtTime(j.finished),
+		EstRunSec: j.estModelSec,
+		Cost:      j.estCost,
+		EstBytes:  j.estBytes,
 		Stages:    stagesOf(j.times),
 	}
 	if j.total > 0 {

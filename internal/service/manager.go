@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,16 +15,47 @@ import (
 	"ifdk/internal/ct/projector"
 	"ifdk/internal/engine"
 	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/perfmodel"
 	"ifdk/internal/volume"
 )
+
+// ErrQuota is returned by Submit when the client's token bucket is empty —
+// the HTTP layer translates it to 429.
+var ErrQuota = errors.New("service: client quota exceeded")
+
+// ErrWorkingSet is returned by Submit when admitting the job would push the
+// estimated in-flight working set past the configured byte budget.
+var ErrWorkingSet = errors.New("service: in-flight working-set budget exhausted")
+
+// ErrAlreadyTerminal is reported by Cancel when the job is already in a
+// terminal state; DELETE handlers fall through to record deletion on it.
+var ErrAlreadyTerminal = errors.New("service: job already terminal")
+
+// ErrNotFound is reported for operations on unknown job IDs.
+var ErrNotFound = errors.New("service: no such job")
 
 // Options configures a Manager.
 type Options struct {
 	Workers    int        // concurrent reconstructions (default 2)
-	QueueCap   int        // bounded admission queue (default 4·Workers)
+	QueueCap   int        // bounded admission queue, jobs (default 4·Workers)
 	CacheBytes int64      // result-cache budget in bytes (default 1 GiB, < 0 disables)
 	MaxJobs    int        // retained job records; oldest terminal ones are pruned (default 1024)
 	PFS        pfs.Config // simulated storage backing all jobs (zero = defaults)
+
+	// Cost-aware admission. Each job's runtime and working set are
+	// estimated at submit time from the paper's performance model
+	// (perfmodel.Estimate) and calibrated against observed runtimes.
+	MaxQueuedSec     float64 // max estimated seconds of queued work (0 = unlimited)
+	MaxInflightBytes int64   // max estimated bytes of in-flight working set (0 = unlimited)
+	CostScale        float64 // initial model→wall-clock calibration factor (default 1)
+
+	// Fairness. Aging is the wait after which a queued job's effective
+	// priority rises one class (0 = default 15s, < 0 disables aging).
+	// QuotaRPS rate-limits submissions per client id with a token bucket
+	// of depth QuotaBurst (0 = no quotas; burst defaults to max(1, 2·rps)).
+	Aging      time.Duration
+	QuotaRPS   float64
+	QuotaBurst float64
 }
 
 func (o Options) withDefaults() Options {
@@ -38,12 +71,24 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs < 1 {
 		o.MaxJobs = 1024
 	}
+	if o.CostScale <= 0 {
+		o.CostScale = 1
+	}
+	switch {
+	case o.Aging == 0:
+		o.Aging = 15 * time.Second
+	case o.Aging < 0:
+		o.Aging = 0 // aging disabled
+	}
+	if o.QuotaRPS > 0 && o.QuotaBurst <= 0 {
+		o.QuotaBurst = math.Max(1, 2*o.QuotaRPS)
+	}
 	return o
 }
 
-// Manager is the reconstruction service: it owns the job table, the bounded
-// priority queue, the worker pool, the shared PFS namespace tree and the
-// result cache. One Manager serves many concurrent clients.
+// Manager is the reconstruction service: it owns the job table, the
+// cost-aware priority queue, the worker pool, the shared PFS namespace tree
+// and the result cache. One Manager serves many concurrent clients.
 //
 // Namespace layout inside the shared PFS:
 //
@@ -56,11 +101,25 @@ type Manager struct {
 	queue *Queue
 	cache *Cache
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // submission order, for List
-	seq   int64
-	open  bool
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	order         []string // submission order, for List
+	seq           int64
+	open          bool
+	inflightBytes int64 // sum of charged jobs' estBytes (queued + running)
+	chargedJobs   int   // jobs currently holding an admission charge
+
+	costMu    sync.Mutex
+	costScale float64 // EWMA of observed wall seconds per model second
+
+	quotaMu sync.Mutex
+	quota   map[string]*tokenBucket
+
+	waitMu      sync.Mutex
+	waits       [numPriorities][]float64 // ring of recent queue waits, seconds
+	waitNext    [numPriorities]int
+	waitCounts  [numPriorities]int64
+	waitSamples int // ring capacity
 
 	stageMu sync.Mutex
 	staged  map[string]*stageState
@@ -71,6 +130,13 @@ type Manager struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+	cacheHits atomic.Int64
+
+	admitted      atomic.Int64
+	rejectedFull  atomic.Int64
+	rejectedCost  atomic.Int64
+	rejectedBytes atomic.Int64
+	rejectedQuota atomic.Int64
 }
 
 type stageState struct {
@@ -78,18 +144,26 @@ type stageState struct {
 	err  error
 }
 
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
 // NewManager starts a manager with opt.Workers worker goroutines.
 func NewManager(opt Options) *Manager {
 	opt = opt.withDefaults()
 	m := &Manager{
-		opt:     opt,
-		store:   pfs.New(opt.PFS),
-		queue:   NewQueue(opt.QueueCap),
-		cache:   NewCache(opt.CacheBytes),
-		jobs:    make(map[string]*Job),
-		staged:  make(map[string]*stageState),
-		open:    true,
-		started: time.Now(),
+		opt:         opt,
+		store:       pfs.New(opt.PFS),
+		queue:       NewQueue(opt.QueueCap, opt.MaxQueuedSec, opt.Aging),
+		cache:       NewCache(opt.CacheBytes),
+		jobs:        make(map[string]*Job),
+		costScale:   opt.CostScale,
+		quota:       make(map[string]*tokenBucket),
+		waitSamples: 512,
+		staged:      make(map[string]*stageState),
+		open:        true,
+		started:     time.Now(),
 	}
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
@@ -109,9 +183,97 @@ func datasetPrefix(spec Spec, cfg core.Config) string {
 	return "ds/" + CacheKey(probe)[:16]
 }
 
+// takeToken charges one submission against the client's token bucket and
+// reports whether it fit. Buckets refill at QuotaRPS tokens/s up to
+// QuotaBurst; a client unseen for long enough simply finds a full bucket.
+func (m *Manager) takeToken(client string) bool {
+	if m.opt.QuotaRPS <= 0 {
+		return true
+	}
+	now := time.Now()
+	m.quotaMu.Lock()
+	defer m.quotaMu.Unlock()
+	b, ok := m.quota[client]
+	if !ok {
+		// Bound the table: drop buckets that have refilled to the brim
+		// (they are indistinguishable from fresh ones).
+		if len(m.quota) >= 4096 {
+			for id, old := range m.quota {
+				if now.Sub(old.last).Seconds()*m.opt.QuotaRPS >= m.opt.QuotaBurst {
+					delete(m.quota, id)
+				}
+			}
+		}
+		b = &tokenBucket{tokens: m.opt.QuotaBurst, last: now}
+		m.quota[client] = b
+	}
+	b.tokens = math.Min(m.opt.QuotaBurst, b.tokens+now.Sub(b.last).Seconds()*m.opt.QuotaRPS)
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// scaleNow returns the current model→wall-clock calibration factor.
+func (m *Manager) scaleNow() float64 {
+	m.costMu.Lock()
+	defer m.costMu.Unlock()
+	return m.costScale
+}
+
+// observeRuntime folds one completed run's observed wall-clock/model ratio
+// into the calibration EWMA, so cost estimates converge to this machine's
+// actual throughput instead of the paper's testbed constants.
+func (m *Manager) observeRuntime(modelSec, wallSec float64) {
+	if modelSec <= 0 || wallSec <= 0 {
+		return
+	}
+	ratio := wallSec / modelSec
+	m.costMu.Lock()
+	m.costScale = 0.75*m.costScale + 0.25*ratio
+	m.costMu.Unlock()
+}
+
+// recordWait adds one queue-wait observation for a priority class.
+func (m *Manager) recordWait(p Priority, d time.Duration) {
+	sec := d.Seconds()
+	m.waitMu.Lock()
+	defer m.waitMu.Unlock()
+	if len(m.waits[p]) < m.waitSamples {
+		m.waits[p] = append(m.waits[p], sec)
+	} else {
+		m.waits[p][m.waitNext[p]] = sec
+		m.waitNext[p] = (m.waitNext[p] + 1) % m.waitSamples
+	}
+	m.waitCounts[p]++
+}
+
+// settle releases a job's admission charge (working-set bytes) exactly
+// once, when the job reaches a terminal state.
+func (m *Manager) settle(j *Job) {
+	j.mu.Lock()
+	release := j.charged && !j.settled
+	j.settled = true
+	j.mu.Unlock()
+	if !release {
+		return
+	}
+	m.mu.Lock()
+	m.inflightBytes -= j.estBytes
+	m.chargedJobs--
+	if m.chargedJobs == 0 {
+		m.inflightBytes = 0 // clamp drift
+	}
+	m.mu.Unlock()
+}
+
 // Submit validates and admits a job. A result-cache hit completes the job
-// instantly; otherwise the job enters the bounded queue (ErrQueueFull when
-// the service is saturated — callers should retry with backoff).
+// instantly; otherwise the job is admitted against the queue capacity, the
+// queued-work cost budget and the in-flight working-set budget (ErrQueueFull
+// / ErrCostBudget / ErrWorkingSet — callers should retry with backoff) and
+// against the client's rate quota (ErrQuota).
 func (m *Manager) Submit(spec Spec) (View, error) {
 	ph, cfg, err := spec.compile()
 	if err != nil {
@@ -122,9 +284,17 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	if err != nil {
 		return View{}, err
 	}
+	if !m.takeToken(spec.Client) {
+		m.rejectedQuota.Add(1)
+		return View{}, fmt.Errorf("client %q: %w", spec.Client, ErrQuota)
+	}
 	cfg.InputPrefix = datasetPrefix(spec, cfg)
 	cfg.AssembleVolume = true
 	key := CacheKey(cfg)
+	est, err := perfmodel.Estimate(cfg)
+	if err != nil {
+		return View{}, err
+	}
 
 	m.mu.Lock()
 	if !m.open {
@@ -133,14 +303,17 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	}
 	m.seq++
 	j := &Job{
-		ID:        fmt.Sprintf("j%08d", m.seq),
-		Spec:      spec,
-		Priority:  prio,
-		state:     StateQueued,
-		submitted: time.Now(),
-		ph:        ph,
-		cfg:       cfg,
-		cacheKey:  key,
+		ID:          fmt.Sprintf("j%08d", m.seq),
+		Spec:        spec,
+		Priority:    prio,
+		state:       StateQueued,
+		submitted:   time.Now(),
+		ph:          ph,
+		cfg:         cfg,
+		cacheKey:    key,
+		estModelSec: est.RunSec,
+		estCost:     est.RunSec * m.scaleNow(),
+		estBytes:    est.WorkingSetBytes,
 	}
 	// A cached entry only satisfies a verify request if the run that
 	// produced it was itself verified; otherwise the job runs (and its
@@ -155,18 +328,39 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		j.result = e
 		m.jobs[j.ID] = j
 		m.order = append(m.order, j.ID)
-		m.completed.Add(1)
+		m.cacheHits.Add(1)
 		pruned := m.pruneLocked()
 		m.mu.Unlock()
 		m.scrub(pruned)
 		return j.snapshot(), nil
 	}
-	if err := m.queue.Push(j); err != nil {
+	if m.opt.MaxInflightBytes > 0 && m.chargedJobs > 0 &&
+		m.inflightBytes+j.estBytes > m.opt.MaxInflightBytes {
 		m.mu.Unlock()
+		m.rejectedBytes.Add(1)
+		return View{}, fmt.Errorf("job needs ~%d MiB against %d MiB in flight: %w",
+			j.estBytes>>20, m.opt.MaxInflightBytes>>20, ErrWorkingSet)
+	}
+	// Mark the charge BEFORE Push publishes the job: once it is in the
+	// queue a worker can pop, finish and settle it, and settle must find
+	// charged == true or the byte accounting leaks for good.
+	j.charged = true
+	if err := m.queue.Push(j); err != nil {
+		j.charged = false
+		m.mu.Unlock()
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			m.rejectedFull.Add(1)
+		case errors.Is(err, ErrCostBudget):
+			m.rejectedCost.Add(1)
+		}
 		return View{}, err
 	}
+	m.inflightBytes += j.estBytes
+	m.chargedJobs++
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
+	m.admitted.Add(1)
 	pruned := m.pruneLocked()
 	m.mu.Unlock()
 	m.scrub(pruned)
@@ -218,7 +412,7 @@ func (m *Manager) Volume(id string) (*volume.Volume, error) {
 	j, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("service: no job %q", id)
+		return nil, fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
 	e := j.Result()
 	if e == nil || e.Volume == nil {
@@ -247,12 +441,14 @@ func (m *Manager) List() []View {
 
 // Cancel stops a job: a queued job is withdrawn immediately, a running job
 // has its context cancelled (the MPI world aborts and the pipeline drains).
+// Cancelling a job that already reached a terminal state reports
+// ErrAlreadyTerminal.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("service: no job %q", id)
+		return fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
 	j.mu.Lock()
 	switch j.state {
@@ -262,6 +458,7 @@ func (m *Manager) Cancel(id string) error {
 		j.mu.Unlock()
 		m.queue.Remove(id) // best-effort: a worker may have popped it already
 		m.cancelled.Add(1)
+		m.settle(j)
 		return nil
 	case StateRunning:
 		cancel := j.cancel
@@ -273,7 +470,7 @@ func (m *Manager) Cancel(id string) error {
 	default:
 		st := j.state
 		j.mu.Unlock()
-		return fmt.Errorf("service: job %s already %s", id, st)
+		return fmt.Errorf("job %s is %s: %w", id, st, ErrAlreadyTerminal)
 	}
 }
 
@@ -297,7 +494,7 @@ func (m *Manager) Delete(id string) error {
 	}
 	m.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("service: no job %q", id)
+		return fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
 	for _, path := range m.store.List("jobs/" + id + "/") {
 		m.store.Delete(path)
@@ -330,7 +527,9 @@ func (m *Manager) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	waited := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	m.recordWait(j.Priority, waited)
 
 	m.busy.Add(1)
 	entry, err := m.execute(ctx, j)
@@ -357,7 +556,14 @@ func (m *Manager) runJob(j *Job) {
 		m.failed.Add(1)
 	}
 	j.mu.Unlock()
+	m.settle(j)
 	if err == nil {
+		// Calibrate against the pipeline's own stage clock (max over
+		// ranks), not submit-to-finish wall time: staging is paid only by
+		// the first job per dataset and verification doubles the compute,
+		// so folding either into the EWMA would inflate every later
+		// estimate and shed work the budget actually had room for.
+		m.observeRuntime(j.estModelSec, entry.Times.Total.Seconds())
 		m.cache.Put(j.cacheKey, entry)
 	}
 }
@@ -390,32 +596,57 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
 }
 
 // stageDataset synthesizes and stores the projections for a job's scan,
-// deduplicated across jobs by content hash (single-flight).
+// deduplicated across jobs by content hash (single-flight). The leader
+// stages under its own job's context, checking it between projections, so
+// a cancelled job (or a shutdown) stops synthesizing and writing mid-scan;
+// a partial dataset is deleted and the single-flight slot is released. A
+// follower whose leader was cancelled retries as the new leader, so one
+// cancelled job never poisons the dataset for the jobs waiting on it.
 func (m *Manager) stageDataset(ctx context.Context, j *Job) error {
 	key := j.cfg.InputPrefix
-	m.stageMu.Lock()
-	st, ok := m.staged[key]
-	if !ok {
-		st = &stageState{done: make(chan struct{})}
-		m.staged[key] = st
-		m.stageMu.Unlock()
-		proj := projector.AnalyticAll(j.ph, j.cfg.Geometry, 0)
-		st.err = core.StageProjections(m.store, key, proj)
-		if st.err != nil { // allow a later job to retry
-			m.stageMu.Lock()
-			delete(m.staged, key)
-			m.stageMu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		close(st.done)
-		return st.err
+		m.stageMu.Lock()
+		st, ok := m.staged[key]
+		if !ok {
+			st = &stageState{done: make(chan struct{})}
+			m.staged[key] = st
+			m.stageMu.Unlock()
+			st.err = m.renderAndStage(ctx, j, key)
+			if st.err != nil { // allow a later job to retry
+				for _, path := range m.store.List(key + "/") {
+					m.store.Delete(path) // no one may read a partial scan
+				}
+				m.stageMu.Lock()
+				delete(m.staged, key)
+				m.stageMu.Unlock()
+			}
+			close(st.done)
+			return st.err
+		}
+		m.stageMu.Unlock()
+		select {
+		case <-st.done:
+			if st.err != nil && errors.Is(st.err, context.Canceled) && ctx.Err() == nil {
+				continue // the leader was cancelled, we were not: take over
+			}
+			return st.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	m.stageMu.Unlock()
-	select {
-	case <-st.done:
-		return st.err
-	case <-ctx.Done():
-		return ctx.Err()
+}
+
+// renderAndStage synthesizes the scan's projections and writes them to the
+// PFS, honouring ctx between projections in both phases.
+func (m *Manager) renderAndStage(ctx context.Context, j *Job, key string) error {
+	proj, err := projector.AnalyticAllCtx(ctx, j.ph, j.cfg.Geometry, 0)
+	if err != nil {
+		return err
 	}
+	return core.StageProjectionsCtx(ctx, m.store, key, proj)
 }
 
 // verifyAgainstSerial recomputes the volume with the serial FDK pipeline
@@ -444,17 +675,18 @@ func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) err
 		}
 		proj[s] = img
 	}
+	// ref is a fresh allocation owned by fdk.Reconstruct's caller, not a
+	// pooled buffer: it is dropped as garbage, never Released — releasing
+	// a foreign buffer would corrupt the pools' footprint accounting.
 	ref, err := fdk.Reconstruct(g, proj, fdk.Config{Window: j.cfg.Window})
 	if err != nil {
 		return err
 	}
 	rmse, err := volume.RMSE(ref, e.Volume)
 	if err != nil {
-		engine.Volumes.Release(ref)
 		return err
 	}
 	s := ref.Summarize()
-	engine.Volumes.Release(ref)
 	scale := math.Max(math.Abs(float64(s.Min)), math.Abs(float64(s.Max)))
 	if scale > 0 {
 		rmse /= scale
@@ -464,22 +696,65 @@ func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) err
 	return nil
 }
 
+// AdmissionStats counts admission decisions since startup.
+type AdmissionStats struct {
+	Admitted      int64 `json:"admitted"`       // jobs that entered the queue
+	RejectedFull  int64 `json:"rejected_full"`  // queue at job-count capacity
+	RejectedCost  int64 `json:"rejected_cost"`  // queued-work seconds budget
+	RejectedBytes int64 `json:"rejected_bytes"` // in-flight working-set budget
+	RejectedQuota int64 `json:"rejected_quota"` // per-client rate quota
+}
+
+// WaitStats summarizes recent queue waits for one priority class.
+type WaitStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P90   float64 `json:"p90_sec"`
+	P99   float64 `json:"p99_sec"`
+}
+
 // Metrics is the service-level counters snapshot served by /v1/metrics.
 type Metrics struct {
-	UptimeSec   float64        `json:"uptime_sec"`
-	Workers     int            `json:"workers"`
-	BusyWorkers int            `json:"busy_workers"`
-	QueueDepth  int            `json:"queue_depth"`
-	QueueCap    int            `json:"queue_cap"`
-	Jobs        map[string]int `json:"jobs"`
-	Completed   int64          `json:"completed"`
-	Failed      int64          `json:"failed"`
-	Cancelled   int64          `json:"cancelled"`
-	JobsPerSec  float64        `json:"jobs_per_sec"`
-	Cache       CacheStats     `json:"cache"`
-	PFSReadMB   float64        `json:"pfs_read_mb"`
-	PFSWriteMB  float64        `json:"pfs_write_mb"`
-	PFSObjects  int            `json:"pfs_objects"`
+	UptimeSec     float64              `json:"uptime_sec"`
+	Workers       int                  `json:"workers"`
+	BusyWorkers   int                  `json:"busy_workers"`
+	QueueDepth    int                  `json:"queue_depth"`
+	QueueCap      int                  `json:"queue_cap"`
+	QueueCostSec  float64              `json:"queue_cost_sec"`           // estimated seconds of queued work
+	MaxQueuedSec  float64              `json:"max_queued_sec,omitempty"` // cost budget (0 = unlimited)
+	InflightBytes int64                `json:"inflight_est_bytes"`       // estimated working set of admitted jobs
+	MaxInflight   int64                `json:"max_inflight_bytes,omitempty"`
+	PoolBytes     int64                `json:"pool_in_use_bytes"` // measured: engine buffer pools
+	CostScale     float64              `json:"cost_scale"`        // learned wall-sec per model-sec
+	Jobs          map[string]int       `json:"jobs"`
+	Completed     int64                `json:"completed"` // real reconstructions only
+	CacheHits     int64                `json:"cache_hits"`
+	Failed        int64                `json:"failed"`
+	Cancelled     int64                `json:"cancelled"`
+	JobsPerSec    float64              `json:"jobs_per_sec"` // real reconstructions per second
+	Admission     AdmissionStats       `json:"admission"`
+	WaitSec       map[string]WaitStats `json:"wait_sec"` // per-priority-class queue waits
+	Cache         CacheStats           `json:"cache"`
+	PFSReadMB     float64              `json:"pfs_read_mb"`
+	PFSWriteMB    float64              `json:"pfs_write_mb"`
+	PFSObjects    int                  `json:"pfs_objects"`
+}
+
+// waitStats snapshots the per-class wait percentiles.
+func (m *Manager) waitStats() map[string]WaitStats {
+	out := make(map[string]WaitStats, numPriorities)
+	m.waitMu.Lock()
+	defer m.waitMu.Unlock()
+	for p := Priority(0); p < numPriorities; p++ {
+		if m.waitCounts[p] == 0 {
+			continue
+		}
+		s := append([]float64(nil), m.waits[p]...)
+		sort.Float64s(s)
+		pct := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+		out[p.String()] = WaitStats{Count: m.waitCounts[p], P50: pct(0.50), P90: pct(0.90), P99: pct(0.99)}
+	}
+	return out
 }
 
 // Metrics returns a snapshot of queue, pool, cache and storage counters.
@@ -489,24 +764,40 @@ func (m *Manager) Metrics() Metrics {
 	for _, j := range m.jobs {
 		states[string(j.State())]++
 	}
+	inflight := m.inflightBytes
 	m.mu.Unlock()
 	up := time.Since(m.started).Seconds()
 	done := m.completed.Load()
 	ps := m.store.Stats()
 	mt := Metrics{
-		UptimeSec:   up,
-		Workers:     m.opt.Workers,
-		BusyWorkers: int(m.busy.Load()),
-		QueueDepth:  m.queue.Len(),
-		QueueCap:    m.queue.Cap(),
-		Jobs:        states,
-		Completed:   done,
-		Failed:      m.failed.Load(),
-		Cancelled:   m.cancelled.Load(),
-		Cache:       m.cache.Stats(),
-		PFSReadMB:   float64(ps.BytesRead) / (1 << 20),
-		PFSWriteMB:  float64(ps.BytesWritten) / (1 << 20),
-		PFSObjects:  ps.Objects,
+		UptimeSec:     up,
+		Workers:       m.opt.Workers,
+		BusyWorkers:   int(m.busy.Load()),
+		QueueDepth:    m.queue.Len(),
+		QueueCap:      m.queue.Cap(),
+		QueueCostSec:  m.queue.CostSec(),
+		MaxQueuedSec:  m.queue.MaxCostSec(),
+		InflightBytes: inflight,
+		MaxInflight:   m.opt.MaxInflightBytes,
+		PoolBytes:     engine.InUseBytes(),
+		CostScale:     m.scaleNow(),
+		Jobs:          states,
+		Completed:     done,
+		CacheHits:     m.cacheHits.Load(),
+		Failed:        m.failed.Load(),
+		Cancelled:     m.cancelled.Load(),
+		Admission: AdmissionStats{
+			Admitted:      m.admitted.Load(),
+			RejectedFull:  m.rejectedFull.Load(),
+			RejectedCost:  m.rejectedCost.Load(),
+			RejectedBytes: m.rejectedBytes.Load(),
+			RejectedQuota: m.rejectedQuota.Load(),
+		},
+		WaitSec:    m.waitStats(),
+		Cache:      m.cache.Stats(),
+		PFSReadMB:  float64(ps.BytesRead) / (1 << 20),
+		PFSWriteMB: float64(ps.BytesWritten) / (1 << 20),
+		PFSObjects: ps.Objects,
 	}
 	if up > 0 {
 		mt.JobsPerSec = float64(done) / up

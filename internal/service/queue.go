@@ -3,40 +3,83 @@ package service
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
-// ErrQueueFull is returned by Push when the queue is at capacity — the
-// backpressure signal the HTTP layer translates to 503.
+// ErrQueueFull is returned by Push when the queue holds its maximum number
+// of jobs — the backpressure signal the HTTP layer translates to 503.
 var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrCostBudget is returned by Push when admitting the job would push the
+// estimated seconds of queued work past the configured budget. Unlike
+// ErrQueueFull it is per-job: a cheap preview can still be admitted after a
+// large job was refused.
+var ErrCostBudget = errors.New("service: queued-work cost budget exhausted")
 
 // ErrClosed is returned when the manager is shutting down.
 var ErrClosed = errors.New("service: manager closed")
 
-// Queue is a bounded multi-priority FIFO: Pop drains the highest non-empty
-// priority class first, oldest job first within a class. Push never blocks
-// (it reports ErrQueueFull instead) so the admission decision is immediate;
-// Pop blocks until a job or Close.
+// Queue is a bounded multi-priority queue with cost-aware admission and
+// priority aging.
+//
+// Admission: Push never blocks. It refuses a job when the queue holds
+// capacity jobs (ErrQueueFull) or when the sum of the queued jobs' cost
+// estimates would exceed maxCost seconds (ErrCostBudget). The cost budget
+// is what keeps one 256³ monster from monopolizing admission while 16³
+// previews shed 503s: a huge job consumes most of the budget by itself, so
+// a second huge job is refused while cheap jobs still fit in the remainder.
+// An otherwise-over-budget job is always admitted into an EMPTY queue so a
+// job costing more than the whole budget can still run — the budget bounds
+// queued backlog, it is not a hard per-job ceiling.
+//
+// Ordering: Pop drains by effective priority, oldest job first within a
+// class. A job's effective priority starts at its submitted class and rises
+// one class for every aging interval it has waited, capped at the highest
+// class; ties break oldest-first. This bounds starvation: a saturated
+// high-priority stream can delay a low-priority job by at most
+// (numPriorities-1)·aging before the job competes with — and, being older,
+// beats — every fresh high-priority submission.
 type Queue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
-	buckets  [numPriorities][]*Job
+	buckets  [numPriorities][]queued
 	n        int
 	capacity int
+	maxCost  float64       // queued-seconds budget; <= 0 means unlimited
+	cost     float64       // sum of queued jobs' cost estimates, seconds
+	aging    time.Duration // wait per one-class priority boost; <= 0 disables
 	closed   bool
 }
 
-// NewQueue creates a queue admitting at most capacity jobs (min 1).
-func NewQueue(capacity int) *Queue {
+type queued struct {
+	j        *Job
+	enqueued time.Time
+	cost     float64
+}
+
+// NewQueue creates a queue admitting at most capacity jobs (min 1) and at
+// most maxCostSec estimated seconds of queued work (<= 0 means unlimited),
+// with the given priority-aging interval (<= 0 disables aging).
+func NewQueue(capacity int, maxCostSec float64, aging time.Duration) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	q := &Queue{capacity: capacity}
+	q := &Queue{capacity: capacity, maxCost: maxCostSec, aging: aging}
 	q.notEmpty = sync.NewCond(&q.mu)
 	return q
 }
 
-// Cap returns the admission capacity.
+// Cap returns the admission capacity in jobs.
 func (q *Queue) Cap() int { return q.capacity }
+
+// MaxCostSec returns the queued-work budget in estimated seconds (0 when
+// unlimited).
+func (q *Queue) MaxCostSec() float64 {
+	if q.maxCost <= 0 {
+		return 0
+	}
+	return q.maxCost
+}
 
 // Len returns the number of queued jobs.
 func (q *Queue) Len() int {
@@ -45,7 +88,15 @@ func (q *Queue) Len() int {
 	return q.n
 }
 
-// Push admits a job or reports ErrQueueFull / ErrClosed.
+// CostSec returns the estimated seconds of work currently queued.
+func (q *Queue) CostSec() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cost
+}
+
+// Push admits a job or reports ErrQueueFull / ErrCostBudget / ErrClosed.
+// The job's admission cost is read from j.estCost (frozen at submit time).
 func (q *Queue) Push(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -55,10 +106,28 @@ func (q *Queue) Push(j *Job) error {
 	if q.n >= q.capacity {
 		return ErrQueueFull
 	}
-	q.buckets[j.Priority] = append(q.buckets[j.Priority], j)
+	if q.maxCost > 0 && q.n > 0 && q.cost+j.estCost > q.maxCost {
+		return ErrCostBudget
+	}
+	q.buckets[j.Priority] = append(q.buckets[j.Priority], queued{j: j, enqueued: time.Now(), cost: j.estCost})
 	q.n++
+	q.cost += j.estCost
 	q.notEmpty.Signal()
 	return nil
+}
+
+// effective returns the aged priority class of a job that has waited for
+// the given duration since enqueue.
+func (q *Queue) effective(base Priority, waited time.Duration) int {
+	p := int(base)
+	if q.aging > 0 && waited > 0 {
+		boost := int(waited / q.aging)
+		if boost > int(numPriorities)-1-p {
+			return int(numPriorities) - 1
+		}
+		p += boost
+	}
+	return p
 }
 
 // Pop blocks until a job is available and returns it; after Close the
@@ -72,16 +141,31 @@ func (q *Queue) Pop() (*Job, bool) {
 	if q.n == 0 {
 		return nil, false
 	}
-	for p := numPriorities - 1; p >= 0; p-- {
-		if len(q.buckets[p]) > 0 {
-			j := q.buckets[p][0]
-			q.buckets[p][0] = nil
-			q.buckets[p] = q.buckets[p][1:]
-			q.n--
-			return j, true
+	// Pick the bucket whose head has the highest effective priority; the
+	// head is each bucket's oldest entry, hence also its most aged. Ties
+	// go to the oldest head so an aged job beats fresh same-class ones.
+	now := time.Now()
+	best, bestEff := -1, -1
+	var bestEnq time.Time
+	for p := 0; p < int(numPriorities); p++ {
+		if len(q.buckets[p]) == 0 {
+			continue
+		}
+		head := q.buckets[p][0]
+		eff := q.effective(Priority(p), now.Sub(head.enqueued))
+		if eff > bestEff || (eff == bestEff && head.enqueued.Before(bestEnq)) {
+			best, bestEff, bestEnq = p, eff, head.enqueued
 		}
 	}
-	return nil, false // unreachable: n > 0 implies a non-empty bucket
+	it := q.buckets[best][0]
+	q.buckets[best][0] = queued{}
+	q.buckets[best] = q.buckets[best][1:]
+	q.n--
+	q.cost -= it.cost
+	if q.n == 0 {
+		q.cost = 0 // clamp float drift so an empty queue charges nothing
+	}
+	return it.j, true
 }
 
 // Remove deletes a queued job by ID (used by cancel); it reports whether
@@ -90,10 +174,14 @@ func (q *Queue) Remove(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for p := range q.buckets {
-		for i, j := range q.buckets[p] {
-			if j.ID == id {
+		for i, it := range q.buckets[p] {
+			if it.j.ID == id {
 				q.buckets[p] = append(q.buckets[p][:i], q.buckets[p][i+1:]...)
 				q.n--
+				q.cost -= it.cost
+				if q.n == 0 {
+					q.cost = 0
+				}
 				return true
 			}
 		}

@@ -10,8 +10,14 @@ func mkJob(id string, p Priority) *Job {
 	return &Job{ID: id, Priority: p, state: StateQueued, submitted: time.Now()}
 }
 
+func mkCostJob(id string, p Priority, cost float64) *Job {
+	j := mkJob(id, p)
+	j.estCost = cost
+	return j
+}
+
 func TestQueuePriorityAndFIFO(t *testing.T) {
-	q := NewQueue(10)
+	q := NewQueue(10, 0, 0)
 	for _, j := range []*Job{
 		mkJob("n1", PriorityNormal),
 		mkJob("l1", PriorityLow),
@@ -33,7 +39,7 @@ func TestQueuePriorityAndFIFO(t *testing.T) {
 }
 
 func TestQueueBackpressure(t *testing.T) {
-	q := NewQueue(2)
+	q := NewQueue(2, 0, 0)
 	if err := q.Push(mkJob("a", PriorityNormal)); err != nil {
 		t.Fatal(err)
 	}
@@ -49,15 +55,81 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
+// The cost budget sheds expensive jobs while cheap ones keep flowing, and
+// never wedges: an over-budget job is still admitted into an empty queue.
+func TestQueueCostBudget(t *testing.T) {
+	q := NewQueue(10, 1.0, 0)
+	if err := q.Push(mkCostJob("big", PriorityNormal, 0.8)); err != nil {
+		t.Fatalf("first big job refused: %v", err)
+	}
+	if err := q.Push(mkCostJob("big2", PriorityNormal, 0.8)); !errors.Is(err, ErrCostBudget) {
+		t.Fatalf("second big job: err = %v, want ErrCostBudget", err)
+	}
+	if err := q.Push(mkCostJob("cheap", PriorityNormal, 0.1)); err != nil {
+		t.Fatalf("cheap job refused while budget had room: %v", err)
+	}
+	if got := q.CostSec(); got < 0.85 || got > 0.95 {
+		t.Fatalf("CostSec = %g, want 0.9", got)
+	}
+	q.Pop()
+	q.Pop()
+	if q.CostSec() != 0 {
+		t.Fatalf("drained queue still charges %g", q.CostSec())
+	}
+	// A job costing more than the whole budget enters an empty queue.
+	if err := q.Push(mkCostJob("monster", PriorityNormal, 5)); err != nil {
+		t.Fatalf("over-budget job refused by empty queue: %v", err)
+	}
+	// ... but holds the budget against everything else until popped.
+	if err := q.Push(mkCostJob("later", PriorityNormal, 0.01)); !errors.Is(err, ErrCostBudget) {
+		t.Fatalf("err = %v, want ErrCostBudget behind a monster", err)
+	}
+}
+
+// Aging bounds starvation: a low-priority job that has waited past the
+// aging interval outranks a freshly-pushed high-priority job.
+func TestQueueAgingPreventsStarvation(t *testing.T) {
+	q := NewQueue(10, 0, 10*time.Millisecond)
+	if err := q.Push(mkJob("old-low", PriorityLow)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // ages past High and caps there
+	if err := q.Push(mkJob("fresh-high", PriorityHigh)); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := q.Pop()
+	if !ok || j.ID != "old-low" {
+		t.Fatalf("popped %v, want the aged low-priority job", j)
+	}
+	j, ok = q.Pop()
+	if !ok || j.ID != "fresh-high" {
+		t.Fatalf("popped %v, want fresh-high", j)
+	}
+}
+
+// Without aging the same scenario starves: priority strictly dominates.
+func TestQueueNoAgingKeepsStrictPriority(t *testing.T) {
+	q := NewQueue(10, 0, 0)
+	q.Push(mkJob("old-low", PriorityLow))
+	time.Sleep(20 * time.Millisecond)
+	q.Push(mkJob("fresh-high", PriorityHigh))
+	if j, _ := q.Pop(); j.ID != "fresh-high" {
+		t.Fatalf("popped %s, want fresh-high (aging disabled)", j.ID)
+	}
+}
+
 func TestQueueRemove(t *testing.T) {
-	q := NewQueue(4)
-	q.Push(mkJob("a", PriorityNormal))
-	q.Push(mkJob("b", PriorityNormal))
+	q := NewQueue(4, 0, 0)
+	q.Push(mkCostJob("a", PriorityNormal, 0.5))
+	q.Push(mkCostJob("b", PriorityNormal, 0.5))
 	if !q.Remove("a") {
 		t.Fatal("remove a failed")
 	}
 	if q.Remove("a") {
 		t.Fatal("double remove succeeded")
+	}
+	if got := q.CostSec(); got != 0.5 {
+		t.Fatalf("CostSec after remove = %g, want 0.5", got)
 	}
 	j, ok := q.Pop()
 	if !ok || j.ID != "b" {
@@ -66,10 +138,13 @@ func TestQueueRemove(t *testing.T) {
 	if q.Len() != 0 {
 		t.Fatalf("len = %d", q.Len())
 	}
+	if q.CostSec() != 0 {
+		t.Fatalf("CostSec = %g after draining", q.CostSec())
+	}
 }
 
 func TestQueueCloseDrains(t *testing.T) {
-	q := NewQueue(4)
+	q := NewQueue(4, 0, 0)
 	q.Push(mkJob("a", PriorityNormal))
 	q.Close()
 	if err := q.Push(mkJob("b", PriorityNormal)); !errors.Is(err, ErrClosed) {
@@ -84,7 +159,7 @@ func TestQueueCloseDrains(t *testing.T) {
 }
 
 func TestQueuePopBlocksUntilPush(t *testing.T) {
-	q := NewQueue(1)
+	q := NewQueue(1, 0, 0)
 	got := make(chan *Job, 1)
 	go func() {
 		j, _ := q.Pop()

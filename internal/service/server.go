@@ -59,9 +59,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.m.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrCostBudget), errors.Is(err, ErrWorkingSet):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.Is(err, ErrQuota):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	case err != nil:
@@ -110,7 +113,11 @@ func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// remove cancels a live job (202) or deletes a terminal one (204).
+// remove cancels a live job (202) or deletes a terminal one (204). The
+// snapshot from Get is advisory only: a job can reach a terminal state
+// between Get and Cancel, so a Cancel that reports ErrAlreadyTerminal falls
+// through to delete instead of surfacing a spurious 409 — the verb is
+// race-free regardless of when the job settles.
 func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.m.Get(id)
@@ -119,18 +126,28 @@ func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !v.State.Terminal() {
-		if err := s.m.Cancel(id); err != nil {
+		switch err := s.m.Cancel(id); {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "action": "cancelled"})
+			return
+		case errors.Is(err, ErrAlreadyTerminal):
+			// Raced to terminal between Get and Cancel: delete below.
+		case errors.Is(err, ErrNotFound):
+			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+			return
+		default:
 			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "action": "cancelled"})
-		return
 	}
-	if err := s.m.Delete(id); err != nil {
+	switch err := s.m.Delete(id); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrNotFound): // raced with a concurrent DELETE
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	default:
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
-		return
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

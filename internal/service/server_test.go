@@ -128,7 +128,9 @@ func TestAPIRoundTrip(t *testing.T) {
 	if err := json.NewDecoder(mresp.Body).Decode(&mt); err != nil {
 		t.Fatal(err)
 	}
-	if mt.Completed < 2 || mt.Cache.Hits < 1 || mt.Workers != 2 {
+	// One real reconstruction plus one cache hit: the hit must NOT inflate
+	// the completed (real runs) counter that feeds jobs_per_sec.
+	if mt.Completed != 1 || mt.CacheHits != 1 || mt.Cache.Hits < 1 || mt.Workers != 2 {
 		t.Fatalf("metrics = %+v", mt)
 	}
 
@@ -179,6 +181,80 @@ func TestAPIRejectsBadRequests(t *testing.T) {
 	}
 	if code, _ := getView(t, ts.URL, "nonexistent"); code != http.StatusNotFound {
 		t.Fatalf("unknown job status = %d", code)
+	}
+}
+
+// DELETE must be race-free against job completion: a job may reach a
+// terminal state between the handler's Get and its Cancel, and the handler
+// must fall through to deletion instead of surfacing a spurious 409. The
+// old handler flaked exactly this way; hammer the window with fast jobs.
+func TestAPIDeleteNeverConflictsWithCompletion(t *testing.T) {
+	ts, _ := startTestServer(t, Options{Workers: 2, QueueCap: 32})
+	for i := 0; i < 12; i++ {
+		spec := testSpec()
+		spec.NP = 32 + 4*(i%5) // mix of fresh runs and cache hits
+		_, v := postJob(t, ts.URL, spec)
+		if v.ID == "" {
+			t.Fatal("submit failed")
+		}
+		// Race DELETE against the job finishing on its own.
+		deadline := time.Now().Add(30 * time.Second)
+		for deleted := false; !deleted; {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted: // cancelled while live; try again until deleted
+			case http.StatusNoContent, http.StatusNotFound:
+				deleted = true // gone (404 = raced with our own earlier delete)
+			case http.StatusConflict:
+				t.Fatalf("job %d: spurious 409 from DELETE race", i)
+			default:
+				t.Fatalf("job %d: DELETE status %d", i, resp.StatusCode)
+			}
+			if !deleted {
+				if time.Now().After(deadline) {
+					t.Fatalf("job %d: never settled", i)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+}
+
+// Per-client quotas: a client that bursts past its token bucket gets 429
+// with Retry-After while other clients keep submitting.
+func TestAPIQuota(t *testing.T) {
+	ts, _ := startTestServer(t, Options{Workers: 1, QueueCap: 32, QuotaRPS: 0.01, QuotaBurst: 2})
+	specN := func(client string, np int) Spec {
+		s := testSpec()
+		s.Client = client
+		s.NP = np
+		return s
+	}
+	for i := 0; i < 2; i++ {
+		resp, _ := postJob(t, ts.URL, specN("greedy", 32+4*i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	body, _ := json.Marshal(specN("greedy", 48))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if r2, _ := postJob(t, ts.URL, specN("patient", 52)); r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("other client hit by greedy client's quota: status %d", r2.StatusCode)
 	}
 }
 
