@@ -7,14 +7,21 @@
 // and per-client rate quotas, with priority aging so low-priority jobs
 // cannot starve.
 //
+// Delivery is incremental, matching the paper's "instant" claim: every job
+// publishes queued/started/round/slice/done lifecycle events over SSE, and
+// its output slices stream out as each row group's epilogue lands them on
+// the PFS — long before the job is terminal.
+//
 //	ifdkd -addr :8080 -workers 4 -queue 16 -cache-mb 1024 \
-//	      -max-queued-sec 30 -quota-rps 5 -aging 15s
+//	      -max-queued-sec 30 -quota-rps 5 -aging 15s -event-log 1024
 //
 // Quickstart:
 //
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	     -d '{"phantom":"shepplogan","nx":32,"r":2,"c":2,"verify":true,"client":"alice"}'
 //	curl -s localhost:8080/v1/jobs/j00000001
+//	curl -sN localhost:8080/v1/jobs/j00000001/events          # SSE progress
+//	curl -sN localhost:8080/v1/jobs/j00000001/stream -o vol.mime  # live slices
 //	curl -s localhost:8080/v1/jobs/j00000001/slice/16 > slice.png
 //	curl -s localhost:8080/v1/metrics
 //
@@ -50,6 +57,8 @@ func main() {
 	aging := flag.Duration("aging", 15*time.Second,
 		"queued-job priority aging: wait per one-class priority boost (0 disables)")
 	cacheMB := flag.Int64("cache-mb", 1024, "result cache budget in MiB (<= 0 disables)")
+	eventLog := flag.Int("event-log", 0,
+		"retained events per job for /events resume and /stream replay (0 = default 1024)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
 	flag.Parse()
@@ -60,6 +69,7 @@ func main() {
 		MaxQueuedSec:     *maxQueuedSec,
 		MaxInflightBytes: *maxInflightMB << 20,
 		QuotaRPS:         *quotaRPS,
+		EventLogCap:      *eventLog,
 	}
 	if *aging <= 0 {
 		opt.Aging = -1 // disabled (0 in Options means "default")

@@ -32,6 +32,18 @@ type Config struct {
 	// any rank goroutine but are serialized by the framework. Excluded
 	// from serialization so Config stays hashable for caching.
 	Progress func(done, total int) `json:"-"`
+
+	// SliceWritten, when non-nil and OutputPrefix != "", is invoked after
+	// each output z-slice has been durably written to the PFS by its row
+	// root during the epilogue — mid-run, long before the full volume is
+	// assembled. Arguments are the global z index, the cumulative count of
+	// written slices and the total (Geometry.Nz). Each z fires exactly
+	// once, in the row root's SlabPlanes order (the mirrored slab pair:
+	// the lower slab ascending, then the upper). Calls come from row-root
+	// goroutines but are serialized by the framework, and never occur
+	// after RunContext has returned. Excluded from serialization so Config
+	// stays hashable for caching.
+	SliceWritten func(z, written, total int) `json:"-"`
 }
 
 // Validate reports configuration problems.

@@ -59,9 +59,21 @@ func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error
 			mu.Unlock()
 		}
 	}
+	sliceTick := func(int) {}
+	if cfg.SliceWritten != nil && cfg.OutputPrefix != "" {
+		total := cfg.Geometry.Nz // every row root stores its slab pair once
+		var mu sync.Mutex
+		written := 0
+		sliceTick = func(z int) {
+			mu.Lock()
+			written++
+			cfg.SliceWritten(z, written, total)
+			mu.Unlock()
+		}
+	}
 
 	err := mpi.RunContext(ctx, n, func(c *mpi.Comm) error {
-		t, vol, err := runRank(ctx, cfg, store, c, tick)
+		t, vol, err := runRank(ctx, cfg, store, c, tick, sliceTick)
 		if err != nil {
 			return err
 		}
@@ -90,8 +102,9 @@ func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error
 
 // runRank is the body of one MPI rank: the three-thread pipeline of
 // Fig. 4a followed by the reduce/store epilogue of Fig. 4b. tick is called
-// once per completed AllGather round for progress reporting.
-func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick func()) (StageTimes, *volume.Volume, error) {
+// once per completed AllGather round for progress reporting; sliceTick once
+// per output slice written to the PFS, with its global z index.
+func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick func(), sliceTick func(z int)) (StageTimes, *volume.Volume, error) {
 	var t StageTimes
 	g := cfg.Geometry
 	row := RankRow(c.Rank(), cfg.R)
@@ -286,10 +299,16 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 			storeStart := time.Now()
 			planes := backproject.SlabPlanes(g.Nz, z0, z1)
 			for p, globalZ := range planes {
+				// Honour cancellation between slices so an aborted job
+				// stops publishing output (and slice callbacks) promptly.
+				if err := ctx.Err(); err != nil {
+					return t, nil, err
+				}
 				img := reduced.SliceZ(p)
 				if _, err := store.Write(pfs.SlicePath(cfg.OutputPrefix, globalZ), volume.ImageToBytes(img)); err != nil {
 					return t, nil, err
 				}
+				sliceTick(globalZ)
 			}
 			t.Store = time.Since(storeStart)
 		}

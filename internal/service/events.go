@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// EventType labels one job lifecycle event on the wire.
+type EventType string
+
+const (
+	EventQueued    EventType = "queued"    // admitted into the queue
+	EventStarted   EventType = "started"   // a worker picked the job up
+	EventRound     EventType = "round"     // one AllGather round completed (coalesced)
+	EventSlice     EventType = "slice"     // one output z-slice landed on the PFS
+	EventDone      EventType = "done"      // terminal: reconstruction finished
+	EventFailed    EventType = "failed"    // terminal: reconstruction errored
+	EventCancelled EventType = "cancelled" // terminal: cancelled by the client or shutdown
+)
+
+// Terminal reports whether the event ends a job's stream.
+func (t EventType) Terminal() bool {
+	return t == EventDone || t == EventFailed || t == EventCancelled
+}
+
+// Event is one entry of a job's event stream. Seq is a per-job sequence
+// number, strictly increasing across the stream, and doubles as the SSE
+// event id for Last-Event-ID resumption.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Job  string    `json:"job"`
+	Type EventType `json:"type"`
+	Time string    `json:"time"`
+
+	// round progress (Type == EventRound)
+	Done  int `json:"done,omitempty"`  // completed AllGather rounds
+	Total int `json:"total,omitempty"` // Np rounds, or Nz for slice events
+
+	// slice delivery (Type == EventSlice)
+	Z       int `json:"z"`                 // global z index of the finished slice
+	Written int `json:"written,omitempty"` // cumulative slices on the PFS
+
+	// terminal / state-carrying events
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// topic is one job's retained event log plus its live subscribers. The log
+// is the only buffer: publishers append (never block) and every subscriber
+// reads at its own pace through a cursor, so a stalled consumer can never
+// exert backpressure on the compute plane — it can only fall behind and, if
+// the log overflows its bound, lose the oldest events.
+type topic struct {
+	mu      sync.Mutex
+	events  []Event // retained, seq-stamped, ascending
+	nextSeq int64
+	closed  bool // a terminal event was published, or the job was dropped
+	subs    map[chan struct{}]struct{}
+}
+
+// Bus is the per-job event fan-out registry of a Manager.
+type Bus struct {
+	logCap int
+	mu     sync.Mutex
+	topics map[string]*topic
+}
+
+// NewBus creates a bus retaining up to logCap events per job (≤ 0 uses the
+// default of 1024 — comfortably above Nz for the largest admissible volume,
+// so slice events survive for full replay to late subscribers).
+func NewBus(logCap int) *Bus {
+	if logCap <= 0 {
+		logCap = 1024
+	}
+	return &Bus{logCap: logCap, topics: make(map[string]*topic)}
+}
+
+func (b *Bus) topicFor(job string, create bool) *topic {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tp := b.topics[job]
+	if tp == nil && create {
+		tp = &topic{nextSeq: 1, subs: make(map[chan struct{}]struct{})}
+		b.topics[job] = tp
+	}
+	return tp
+}
+
+// Publish appends one event to the job's stream, stamping its sequence
+// number and timestamp, and wakes subscribers. It never blocks: consecutive
+// round events coalesce in place (only the latest matters for progress) and
+// the log drops its oldest entries beyond the retention bound. Events after
+// a terminal event are discarded.
+func (b *Bus) Publish(job string, e Event) {
+	tp := b.topicFor(job, true)
+	tp.mu.Lock()
+	if tp.closed {
+		tp.mu.Unlock()
+		return
+	}
+	e.Job = job
+	e.Seq = tp.nextSeq
+	tp.nextSeq++
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	if n := len(tp.events); n > 0 && e.Type == EventRound && tp.events[n-1].Type == EventRound {
+		tp.events[n-1] = e // coalesce: replace the stale progress tick
+	} else {
+		tp.events = append(tp.events, e)
+	}
+	if over := len(tp.events) - b.logCap; over > 0 {
+		tp.events = append(tp.events[:0], tp.events[over:]...)
+	}
+	if e.Type.Terminal() {
+		tp.closed = true
+	}
+	for ch := range tp.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled; the subscriber will catch up
+		}
+	}
+	tp.mu.Unlock()
+}
+
+// Drop discards a job's topic (the job record was deleted or pruned) and
+// wakes its subscribers, whose Next calls then report the stream closed.
+func (b *Bus) Drop(job string) {
+	b.mu.Lock()
+	tp := b.topics[job]
+	delete(b.topics, job)
+	b.mu.Unlock()
+	if tp == nil {
+		return
+	}
+	tp.mu.Lock()
+	tp.closed = true
+	for ch := range tp.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	tp.mu.Unlock()
+}
+
+// Subscription is one consumer's cursor into a job's event stream.
+type Subscription struct {
+	tp     *topic
+	notify chan struct{}
+	cursor int64 // highest Seq already delivered
+}
+
+// Subscribe attaches a consumer to a job's stream, replaying retained
+// events with Seq > after (after = 0 replays everything still retained; a
+// cursor older than the retention window resumes from the oldest event,
+// silently skipping what was dropped). The caller must Close the
+// subscription when done.
+func (b *Bus) Subscribe(job string, after int64) *Subscription {
+	tp := b.topicFor(job, true)
+	s := &Subscription{tp: tp, notify: make(chan struct{}, 1), cursor: after}
+	tp.mu.Lock()
+	tp.subs[s.notify] = struct{}{}
+	tp.mu.Unlock()
+	return s
+}
+
+// Close detaches the subscription from the topic.
+func (s *Subscription) Close() {
+	s.tp.mu.Lock()
+	delete(s.tp.subs, s.notify)
+	s.tp.mu.Unlock()
+}
+
+// pending returns the retained events beyond the cursor and whether the
+// stream can still grow.
+func (s *Subscription) pending() (batch []Event, open bool) {
+	s.tp.mu.Lock()
+	defer s.tp.mu.Unlock()
+	for _, e := range s.tp.events {
+		if e.Seq > s.cursor {
+			batch = append(batch, e)
+		}
+	}
+	if n := len(batch); n > 0 {
+		s.cursor = batch[n-1].Seq
+	}
+	return batch, !s.tp.closed
+}
+
+// Next blocks until events beyond the cursor are available and returns
+// them. ok == false means the stream is over: every retained event has been
+// delivered and no more will come (terminal event published, job dropped)
+// or ctx ended first. A batch accompanied by ok == false is still valid —
+// it is the final batch, ending in the terminal event.
+func (s *Subscription) Next(ctx context.Context) (batch []Event, ok bool) {
+	for {
+		batch, open := s.pending()
+		if len(batch) > 0 || !open {
+			return batch, open
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}

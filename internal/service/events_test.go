@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Consecutive round events must coalesce to the latest tick, so a job's
+// retained log stays tiny no matter how many AllGather rounds it runs.
+func TestBusCoalescesRounds(t *testing.T) {
+	b := NewBus(64)
+	b.Publish("j1", Event{Type: EventStarted, State: StateRunning})
+	for i := 1; i <= 500; i++ {
+		b.Publish("j1", Event{Type: EventRound, Done: i, Total: 500})
+	}
+	sub := b.Subscribe("j1", 0)
+	defer sub.Close()
+	batch, open := sub.pending()
+	if !open {
+		t.Fatal("stream closed without a terminal event")
+	}
+	if len(batch) != 2 {
+		t.Fatalf("retained %d events, want 2 (started + coalesced round)", len(batch))
+	}
+	if batch[1].Type != EventRound || batch[1].Done != 500 {
+		t.Fatalf("tail event = %+v, want the latest round tick", batch[1])
+	}
+	if batch[1].Seq <= batch[0].Seq {
+		t.Fatalf("coalesced round seq %d not after started seq %d", batch[1].Seq, batch[0].Seq)
+	}
+}
+
+// The log must stay bounded, drop its oldest events on overflow, and resume
+// a stale cursor from the oldest retained event instead of blocking.
+func TestBusBoundedLogOverflow(t *testing.T) {
+	b := NewBus(8)
+	for z := 0; z < 20; z++ {
+		b.Publish("j1", Event{Type: EventSlice, Z: z, Written: z + 1, Total: 20})
+	}
+	sub := b.Subscribe("j1", 0) // cursor far behind the retention window
+	defer sub.Close()
+	batch, _ := sub.pending()
+	if len(batch) != 8 {
+		t.Fatalf("retained %d events, want the 8 newest", len(batch))
+	}
+	if batch[0].Z != 12 || batch[7].Z != 19 {
+		t.Fatalf("retained z range [%d,%d], want [12,19]", batch[0].Z, batch[7].Z)
+	}
+}
+
+// Publish must never block, no matter how unresponsive the subscribers are.
+func TestBusPublishNeverBlocks(t *testing.T) {
+	b := NewBus(16)
+	for i := 0; i < 64; i++ {
+		sub := b.Subscribe("j1", 0) // never reads
+		defer sub.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			b.Publish("j1", Event{Type: EventRound, Done: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked on stuck subscribers")
+	}
+}
+
+// A terminal event ends the stream: Next hands out the final batch with
+// ok == false and later publishes are discarded.
+func TestBusTerminalClosesStream(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe("j1", 0)
+	defer sub.Close()
+	b.Publish("j1", Event{Type: EventQueued, State: StateQueued})
+	b.Publish("j1", Event{Type: EventDone, State: StateDone})
+	b.Publish("j1", Event{Type: EventRound, Done: 1}) // after terminal: dropped
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	batch, ok := sub.Next(ctx)
+	if ok {
+		t.Fatal("Next reported the stream still open after a terminal event")
+	}
+	if len(batch) != 2 || batch[1].Type != EventDone {
+		t.Fatalf("final batch = %+v, want queued+done", batch)
+	}
+	if batch[1].Seq != 2 {
+		t.Fatalf("done seq = %d, want 2", batch[1].Seq)
+	}
+}
+
+// Resuming from a mid-stream cursor must replay only later events, and a
+// cancelled context must unblock a waiting subscriber.
+func TestBusResumeAndContextCancel(t *testing.T) {
+	b := NewBus(0)
+	b.Publish("j1", Event{Type: EventQueued, State: StateQueued})
+	b.Publish("j1", Event{Type: EventSlice, Z: 0, Written: 1})
+	b.Publish("j1", Event{Type: EventSlice, Z: 1, Written: 2})
+
+	sub := b.Subscribe("j1", 1) // Last-Event-ID: 1 → skip the queued event
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	batch, ok := sub.Next(ctx)
+	if !ok || len(batch) != 2 || batch[0].Z != 0 || batch[1].Z != 1 {
+		t.Fatalf("resumed batch = %+v (ok=%v), want the two slice events", batch, ok)
+	}
+
+	waitCtx, waitCancel := context.WithCancel(context.Background())
+	unblocked := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(waitCtx)
+		unblocked <- ok
+	}()
+	waitCancel()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("Next reported ok after context cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not honour context cancellation")
+	}
+}
+
+// Dropping a job wakes its subscribers and closes their streams.
+func TestBusDropWakesSubscribers(t *testing.T) {
+	b := NewBus(0)
+	b.Publish("j1", Event{Type: EventQueued, State: StateQueued})
+	sub := b.Subscribe("j1", 1) // already caught up: Next will block
+	defer sub.Close()
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(context.Background())
+		got <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next park on the notify channel
+	b.Drop("j1")
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("Next reported ok after the topic was dropped")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drop did not wake the subscriber")
+	}
+}

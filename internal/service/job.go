@@ -318,6 +318,10 @@ func (j *Job) snapshot() View {
 	return v
 }
 
+// outPrefix is the job's output namespace on the PFS, where the epilogue
+// writes finished slices mid-run.
+func (j *Job) outPrefix() string { return "jobs/" + j.ID + "/out" }
+
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
 	j.mu.Lock()

@@ -56,6 +56,17 @@ type Options struct {
 	Aging      time.Duration
 	QuotaRPS   float64
 	QuotaBurst float64
+
+	// EventLogCap bounds the per-job event log backing /events and
+	// /stream: it is the replay window for late subscribers and
+	// Last-Event-ID resumption (0 = default 1024).
+	EventLogCap int
+
+	// testOnSlice, when non-nil, runs synchronously on the publishing
+	// row-root goroutine after each slice event, while the job is still
+	// mid-epilogue. Tests block here to observe the service with a slice
+	// published but the job provably still running.
+	testOnSlice func(job string, z int)
 }
 
 func (o Options) withDefaults() Options {
@@ -96,10 +107,11 @@ func (o Options) withDefaults() Options {
 //	                      shared by all jobs with identical scans
 //	jobs/<id>/out/slice_* per-job output slices (each job's own namespace)
 type Manager struct {
-	opt   Options
-	store *pfs.PFS
-	queue *Queue
-	cache *Cache
+	opt    Options
+	store  *pfs.PFS
+	queue  *Queue
+	cache  *Cache
+	events *Bus
 
 	mu            sync.Mutex
 	jobs          map[string]*Job
@@ -157,6 +169,7 @@ func NewManager(opt Options) *Manager {
 		store:       pfs.New(opt.PFS),
 		queue:       NewQueue(opt.QueueCap, opt.MaxQueuedSec, opt.Aging),
 		cache:       NewCache(opt.CacheBytes),
+		events:      NewBus(opt.EventLogCap),
 		jobs:        make(map[string]*Job),
 		costScale:   opt.CostScale,
 		quota:       make(map[string]*tokenBucket),
@@ -174,6 +187,44 @@ func NewManager(opt Options) *Manager {
 
 // Store exposes the backing PFS (tests and tooling).
 func (m *Manager) Store() *pfs.PFS { return m.store }
+
+// Events exposes the per-job event bus backing /events and /stream.
+func (m *Manager) Events() *Bus { return m.events }
+
+// job returns the live job record for id.
+func (m *Manager) job(id string) (*Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	return j, ok
+}
+
+// subscribe attaches a consumer to a job's event stream, replaying retained
+// events with Seq > after. It owns the subscribe/DELETE race: Subscribe can
+// recreate a topic a concurrent Delete just dropped, so the job table is
+// re-checked afterwards and the stray topic dropped again — deleted jobs
+// must never leak topics. Callers must Close the subscription.
+func (m *Manager) subscribe(id string, after int64) (*Subscription, error) {
+	sub := m.events.Subscribe(id, after)
+	if _, ok := m.job(id); !ok {
+		sub.Close()
+		m.events.Drop(id)
+		return nil, fmt.Errorf("job %q: %w", id, ErrNotFound)
+	}
+	return sub, nil
+}
+
+// publishTerminal publishes an event for a job that is (or just became)
+// terminal. Terminal jobs are deletable, and a concurrent Delete's
+// Bus.Drop could interleave with this publish and have the topic silently
+// recreated; re-checking the job table afterwards closes that window so
+// deleted jobs never leak topics.
+func (m *Manager) publishTerminal(id string, e Event) {
+	m.events.Publish(id, e)
+	if _, ok := m.job(id); !ok {
+		m.events.Drop(id)
+	}
+}
 
 // datasetPrefix content-addresses the staged scan of a spec: jobs with the
 // same phantom and geometry share one projection set on the PFS.
@@ -331,6 +382,11 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		m.cacheHits.Add(1)
 		pruned := m.pruneLocked()
 		m.mu.Unlock()
+		// A cache hit still gets a (degenerate) event stream, so streaming
+		// clients see a uniform lifecycle regardless of where the volume
+		// came from.
+		m.events.Publish(j.ID, Event{Type: EventQueued, State: StateQueued})
+		m.publishTerminal(j.ID, Event{Type: EventDone, State: StateDone})
 		m.scrub(pruned)
 		return j.snapshot(), nil
 	}
@@ -341,13 +397,17 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		return View{}, fmt.Errorf("job needs ~%d MiB against %d MiB in flight: %w",
 			j.estBytes>>20, m.opt.MaxInflightBytes>>20, ErrWorkingSet)
 	}
-	// Mark the charge BEFORE Push publishes the job: once it is in the
-	// queue a worker can pop, finish and settle it, and settle must find
+	// Publish the queued event BEFORE Push makes the job poppable: a worker
+	// can pick it up instantly, and its started event must sequence after
+	// queued. Mark the charge first for the same reason: once the job is in
+	// the queue a worker can pop, finish and settle it, and settle must find
 	// charged == true or the byte accounting leaks for good.
+	m.events.Publish(j.ID, Event{Type: EventQueued, State: StateQueued})
 	j.charged = true
 	if err := m.queue.Push(j); err != nil {
 		j.charged = false
 		m.mu.Unlock()
+		m.events.Drop(j.ID) // never admitted: no stream to replay
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			m.rejectedFull.Add(1)
@@ -386,9 +446,11 @@ func (m *Manager) pruneLocked() []string {
 	return pruned
 }
 
-// scrub deletes pruned jobs' output namespaces from the PFS.
+// scrub deletes pruned jobs' output namespaces from the PFS and their event
+// streams from the bus.
 func (m *Manager) scrub(ids []string) {
 	for _, id := range ids {
+		m.events.Drop(id)
 		for _, path := range m.store.List("jobs/" + id + "/") {
 			m.store.Delete(path)
 		}
@@ -458,6 +520,7 @@ func (m *Manager) Cancel(id string) error {
 		j.mu.Unlock()
 		m.queue.Remove(id) // best-effort: a worker may have popped it already
 		m.cancelled.Add(1)
+		m.publishTerminal(id, Event{Type: EventCancelled, State: StateCancelled, Error: "cancelled while queued"})
 		m.settle(j)
 		return nil
 	case StateRunning:
@@ -496,6 +559,7 @@ func (m *Manager) Delete(id string) error {
 	if !ok {
 		return fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
+	m.events.Drop(id)
 	for _, path := range m.store.List("jobs/" + id + "/") {
 		m.store.Delete(path)
 	}
@@ -530,6 +594,7 @@ func (m *Manager) runJob(j *Job) {
 	waited := j.started.Sub(j.submitted)
 	j.mu.Unlock()
 	m.recordWait(j.Priority, waited)
+	m.events.Publish(j.ID, Event{Type: EventStarted, State: StateRunning})
 
 	m.busy.Add(1)
 	entry, err := m.execute(ctx, j)
@@ -538,6 +603,7 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.cancel = nil
+	terminal := Event{Type: EventDone, State: StateDone}
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -550,12 +616,15 @@ func (m *Manager) runJob(j *Job) {
 		j.state = StateCancelled
 		j.err = err.Error()
 		m.cancelled.Add(1)
+		terminal = Event{Type: EventCancelled, State: StateCancelled, Error: j.err}
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
 		m.failed.Add(1)
+		terminal = Event{Type: EventFailed, State: StateFailed, Error: j.err}
 	}
 	j.mu.Unlock()
+	m.publishTerminal(j.ID, terminal)
 	m.settle(j)
 	if err == nil {
 		// Calibrate against the pipeline's own stage clock (max over
@@ -576,11 +645,21 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
 		return nil, err
 	}
 	cfg := j.cfg
-	cfg.OutputPrefix = "jobs/" + j.ID + "/out"
+	cfg.OutputPrefix = j.outPrefix()
 	cfg.Progress = func(done, total int) {
 		j.mu.Lock()
 		j.done, j.total = done, total
 		j.mu.Unlock()
+		m.events.Publish(j.ID, Event{Type: EventRound, Done: done, Total: total})
+	}
+	// Publish each slice the moment its row root lands it on the PFS: the
+	// event precedes the epilogue's next write, so by the time a streaming
+	// client reacts the payload is durably readable.
+	cfg.SliceWritten = func(z, written, total int) {
+		m.events.Publish(j.ID, Event{Type: EventSlice, Z: z, Written: written, Total: total})
+		if m.opt.testOnSlice != nil {
+			m.opt.testOnSlice(j.ID, z)
+		}
 	}
 	res, err := core.RunContext(ctx, cfg, m.store)
 	if err != nil {

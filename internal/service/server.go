@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/volume"
 )
 
 // Server is the HTTP front of a Manager.
@@ -14,7 +17,9 @@ import (
 //	                              queued, 503 + Retry-After when saturated
 //	GET    /v1/jobs               list all jobs
 //	GET    /v1/jobs/{id}          one job's status/progress/timings
-//	GET    /v1/jobs/{id}/slice/{z} axial slice z of a done job as PNG
+//	GET    /v1/jobs/{id}/events   lifecycle as SSE (resumable, Last-Event-ID)
+//	GET    /v1/jobs/{id}/stream   output slices as chunked multipart, live
+//	GET    /v1/jobs/{id}/slice/{z} axial slice z as PNG, as soon as written
 //	DELETE /v1/jobs/{id}          cancel a live job, or delete a terminal one
 //	GET    /v1/metrics            queue/pool/cache/storage counters
 //	GET    /healthz               liveness
@@ -29,6 +34,8 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", s.slice)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.remove)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
@@ -89,25 +96,46 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// slice serves one axial slice as PNG as soon as it exists: from the
+// result volume once the job is done, or straight off the PFS mid-run —
+// the epilogue writes slices per row group long before the job settles.
+// A malformed or out-of-range index is the client's fault (400); a valid
+// index whose slice has not been written yet is 404, worth retrying; a
+// failed or cancelled job's slices will never arrive (409, as /stream).
 func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	j, ok := s.m.job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	nz := j.cfg.Geometry.Nz
 	z, err := strconv.Atoi(r.PathValue("z"))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "slice index must be an integer"})
 		return
 	}
-	vol, err := s.m.Volume(id)
-	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	if z < 0 || z >= nz {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("slice %d out of range [0,%d)", z, nz)})
 		return
 	}
-	if z < 0 || z >= vol.Nz {
-		writeJSON(w, http.StatusBadRequest,
-			apiError{Error: fmt.Sprintf("slice %d out of range [0,%d)", z, vol.Nz)})
+	var img *volume.Image
+	if e := j.Result(); e != nil && e.Volume != nil {
+		img = e.Volume.SliceZ(z)
+	} else if st := j.State(); st == StateFailed || st == StateCancelled {
+		// Terminal without a result: the slice will never arrive, so a
+		// retryable 404 would loop clients forever — 409, matching /stream.
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf(
+			"job %s is %s: slice %d will not be produced", id, st, z)})
+		return
+	} else if img, _, err = s.m.store.ReadImage(pfs.SlicePath(j.outPrefix(), z)); err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf(
+			"slice %d of job %s not written yet (state %s)", z, id, j.State())})
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
-	if err := vol.SliceZ(z).WritePNG(w, 0, 0); err != nil {
+	if err := img.WritePNG(w, 0, 0); err != nil {
 		// Headers are gone; all we can do is drop the connection mid-body.
 		return
 	}

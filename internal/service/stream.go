@@ -1,0 +1,208 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/volume"
+)
+
+// events serves GET /v1/jobs/{id}/events: the job's lifecycle as
+// Server-Sent Events. Each event's id is its per-job sequence number, so a
+// reconnecting client resumes with the standard Last-Event-ID header (or an
+// ?after= query parameter) and replays only what it has not seen. The
+// stream replays retained history first — subscribing to a finished job
+// yields its full (coalesced) lifecycle — then follows the live run and
+// ends after the terminal event.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.m.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	after := int64(0)
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("after")
+	}
+	if lastID != "" {
+		n, err := strconv.ParseInt(lastID, 10, 64)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "Last-Event-ID must be a non-negative integer"})
+			return
+		}
+		after = n
+	}
+	sub, err := s.m.subscribe(id, after)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	// Flush the headers now: a client resuming at the tip of the stream may
+	// otherwise sit on an unanswered request until the next event happens.
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	for {
+		batch, ok := sub.Next(r.Context())
+		for _, e := range batch {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); err != nil {
+				return // client went away
+			}
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// stream serves GET /v1/jobs/{id}/stream: the job's output slices as a
+// chunked multipart/mixed body, each part one z-slice in the PFS image
+// format (little-endian W,H header + float32 payload), delivered as its row
+// group finishes — while the job is still running. Attaching late replays
+// the already-written slices first (from the PFS mid-run, or from the
+// cached volume once done), then follows the live epilogue. The final part
+// is the job's terminal JSON view.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.m.job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	// Subscribe before inspecting state so no slice event can fall between
+	// the snapshot and the live tail.
+	sub, err := s.m.subscribe(id, 0)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	defer sub.Close()
+
+	nz := j.cfg.Geometry.Nz
+	if st := j.State(); st == StateFailed || st == StateCancelled {
+		writeJSON(w, http.StatusConflict,
+			apiError{Error: fmt.Sprintf("job %s is %s: no slice stream", id, st)})
+		return
+	}
+
+	mw := multipart.NewWriter(w)
+	defer mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	if err := rc.Flush(); err != nil { // headers out before the first slice exists
+		return
+	}
+
+	sent := make([]bool, nz)
+	sendBlob := func(z int, blob []byte) error {
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Type", "application/x-ifdk-slice")
+		hdr.Set("X-Slice-Z", strconv.Itoa(z))
+		hdr.Set("X-Slice-Total", strconv.Itoa(nz))
+		part, err := mw.CreatePart(hdr)
+		if err != nil {
+			return err
+		}
+		if _, err := part.Write(blob); err != nil {
+			return err
+		}
+		sent[z] = true
+		return rc.Flush()
+	}
+	// sendFromPFS streams slice z if it is already durable; absent slices
+	// are simply not ready yet and will arrive with their event.
+	sendFromPFS := func(z int) error {
+		if z < 0 || z >= nz || sent[z] {
+			return nil
+		}
+		blob, _, err := s.m.store.Read(pfs.SlicePath(j.outPrefix(), z))
+		if err != nil {
+			return nil
+		}
+		return sendBlob(z, blob)
+	}
+	// finish emits any slices the event replay window lost, then the
+	// terminal JSON view as the closing part.
+	finish := func() {
+		if e := j.Result(); e != nil && e.Volume != nil {
+			for z := 0; z < nz; z++ {
+				if !sent[z] {
+					if err := sendBlob(z, volume.ImageToBytes(e.Volume.SliceZ(z))); err != nil {
+						return
+					}
+				}
+			}
+		} else {
+			for z := 0; z < nz; z++ {
+				if err := sendFromPFS(z); err != nil {
+					return
+				}
+			}
+		}
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Type", "application/json")
+		v := j.snapshot()
+		hdr.Set("X-Stream-End", string(v.State))
+		part, err := mw.CreatePart(hdr)
+		if err != nil {
+			return
+		}
+		_ = json.NewEncoder(part).Encode(v)
+		_ = rc.Flush()
+	}
+
+	// Replay slices already on the PFS (late subscribe to a running job),
+	// then follow the live event stream; slice events arriving for what the
+	// replay already sent are deduplicated by the sent bitmap.
+	for z := 0; z < nz; z++ {
+		if err := sendFromPFS(z); err != nil {
+			return
+		}
+	}
+	for {
+		batch, ok := sub.Next(r.Context())
+		for _, e := range batch {
+			switch {
+			case e.Type == EventSlice:
+				if err := sendFromPFS(e.Z); err != nil {
+					return
+				}
+			case e.Type.Terminal():
+				finish()
+				return
+			}
+		}
+		if !ok {
+			// Stream over without a terminal event in the retained log:
+			// the client disconnected, the job was deleted mid-stream, or
+			// the terminal event predates the replay window. If the job
+			// is terminal, still close the stream properly.
+			if j.State().Terminal() {
+				finish()
+			}
+			return
+		}
+	}
+}
