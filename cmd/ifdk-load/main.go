@@ -1,9 +1,12 @@
 // Command ifdk-load replays a mixed medical/industrial reconstruction
-// workload against an ifdkd server and reports service-level performance:
-// throughput, submit→done latency percentiles, backpressure retries, cache
-// hits and verification outcomes. With no -addr it spins up an in-process
-// server first, making the full service path a one-command benchmark
-// alongside the Fig. 7 / Table 4 harnesses:
+// workload against an ifdkd server (or an ifdk-router fronting a fleet —
+// the generator cannot tell the difference) and reports service-level
+// performance: throughput, submit→done latency percentiles, backpressure
+// retries, cache hits and verification outcomes. All traffic flows through
+// the pkg/client SDK over the versioned pkg/api contract — no hand-rolled
+// HTTP. With no -addr it spins up an in-process server first, making the
+// full service path a one-command benchmark alongside the Fig. 7 / Table 4
+// harnesses:
 //
 //	ifdk-load -jobs 24 -clients 6 -workers 4
 //	ifdk-load -addr http://localhost:8080 -jobs 50
@@ -25,44 +28,41 @@
 //	ifdk-load -mixed -jobs 36 -clients 6 -workers 2 -max-queued-sec 3
 //
 // With -stream the generator runs the streaming-delivery scenario instead:
-// it submits one verified job, consumes /events (SSE) and /stream (chunked
-// multipart) concurrently, and measures time-to-first-slice against
-// time-to-full-volume (the stream's terminal part). The process exits
-// non-zero unless the first slice and at least one progress event arrived
-// while the job was still running, every slice streamed exactly once, and
-// first-slice latency beat full-volume latency by a wide margin.
+// it submits one verified job, consumes /events (SSE, via client.Watch) and
+// /stream (chunked multipart, via client.Stream) concurrently, and measures
+// time-to-first-slice against time-to-full-volume (the stream's terminal
+// part). Adding -gzip negotiates per-part gzip slice encoding and reports
+// the bytes saved. The process exits non-zero unless the first slice and at
+// least one progress event arrived while the job was still running, every
+// slice streamed exactly once, and first-slice latency beat full-volume
+// latency by a wide margin.
 //
-//	ifdk-load -stream -nx 32 -workers 2
+//	ifdk-load -stream -nx 64 -workers 2
+//	ifdk-load -stream -gzip
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"mime"
-	"mime/multipart"
 	"net"
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ifdk/internal/service"
+	"ifdk/pkg/api"
+	"ifdk/pkg/client"
 )
 
 type result struct {
 	id      string
-	view    service.View
+	view    api.View
 	latency time.Duration
-	retries int
 	err     error
 }
 
@@ -78,6 +78,7 @@ type loadConfig struct {
 	timeout      time.Duration
 	mixed        bool
 	stream       bool
+	gzip         bool
 	maxQueuedSec float64
 	quotaRPS     float64
 	aging        time.Duration
@@ -97,6 +98,7 @@ func main() {
 	flag.DurationVar(&lc.timeout, "timeout", 5*time.Minute, "overall deadline")
 	flag.BoolVar(&lc.mixed, "mixed", false, "run the multi-client mixed-priority fairness scenario")
 	flag.BoolVar(&lc.stream, "stream", false, "run the streaming time-to-first-slice scenario")
+	flag.BoolVar(&lc.gzip, "gzip", false, "negotiate per-part gzip slice encoding in -stream and report bytes saved")
 	flag.Float64Var(&lc.maxQueuedSec, "max-queued-sec", 0.5, "queued-work cost budget for -mixed (in-process server only)")
 	flag.Float64Var(&lc.quotaRPS, "quota-rps", 0, "per-client quota for the in-process server (0 = off)")
 	flag.DurationVar(&lc.aging, "aging", 150*time.Millisecond, "priority aging step for -mixed (in-process server only)")
@@ -113,7 +115,7 @@ func main() {
 // (Shepp–Logan head), industrial (machined block) and calibration (sphere)
 // scans on varying grids, with periodic exact duplicates to exercise the
 // result cache.
-func specFor(i, nx, dupEvery, verifyEvery int) service.Spec {
+func specFor(i, nx, dupEvery, verifyEvery int) api.Spec {
 	if dupEvery > 0 && i > 0 && i%dupEvery == 0 {
 		// Repeat an earlier job's spec exactly; keep dupEvery so a
 		// reference that is itself a dup slot resolves through the chain.
@@ -122,7 +124,7 @@ func specFor(i, nx, dupEvery, verifyEvery int) service.Spec {
 	phantoms := []string{"shepplogan", "industrial", "sphere"}
 	grids := [][2]int{{2, 2}, {4, 2}, {2, 4}, {4, 1}}
 	g := grids[i%len(grids)]
-	s := service.Spec{
+	s := api.Spec{
 		Phantom: phantoms[i%len(phantoms)],
 		NX:      nx,
 		NP:      2*nx + 8*(i%3)*g[0]*g[1], // vary scan length, keep Np % R·C == 0
@@ -133,6 +135,25 @@ func specFor(i, nx, dupEvery, verifyEvery int) service.Spec {
 		s.Verify = true
 	}
 	return s
+}
+
+// newClient builds the shared SDK client: generous retries against
+// backpressure, every retry counted into the report.
+func newClient(addr string, lc loadConfig, retries *atomic.Int64) *client.Client {
+	opts := []client.Option{client.WithRetry(client.Retry{
+		Max:  1 << 20, // the load generator retries saturation until its own deadline
+		Base: 25 * time.Millisecond,
+		Cap:  250 * time.Millisecond,
+		OnRetry: func(code string, _ int, _ time.Duration) {
+			if code != "watch_reconnect" {
+				retries.Add(1)
+			}
+		},
+	})}
+	if lc.gzip {
+		opts = append(opts, client.WithGzip())
+	}
+	return client.New(addr, opts...)
 }
 
 func run(lc loadConfig) error {
@@ -167,9 +188,10 @@ func run(lc loadConfig) error {
 		fmt.Println(")")
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	var retries atomic.Int64
+	c := newClient(addr, lc, &retries)
 	if lc.stream {
-		return runStream(ctx, client, addr, lc)
+		return runStream(ctx, c, lc)
 	}
 	mode := "uniform"
 	if lc.mixed {
@@ -182,13 +204,12 @@ func run(lc loadConfig) error {
 		wg        sync.WaitGroup
 		resMu     sync.Mutex
 		results   []result
-		retries   atomic.Int64
 		jobIdx    atomic.Int64
 		wallStart = time.Now()
 	)
-	for c := 0; c < lc.clients; c++ {
+	for cl := 0; cl < lc.clients; cl++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(cl int) {
 			defer wg.Done()
 			for {
 				i := int(jobIdx.Add(1)) - 1
@@ -197,23 +218,22 @@ func run(lc loadConfig) error {
 				}
 				spec := specFor(i, lc.nx, lc.dupEvery, lc.verifyEvery)
 				if lc.mixed {
-					spec.Client = fmt.Sprintf("client-%d", c)
+					spec.Client = fmt.Sprintf("client-%d", cl)
 					// Client 0 is the background tenant: everything it
 					// submits is low priority. Everyone else floods high.
-					if c == 0 {
+					if cl == 0 {
 						spec.Priority = "low"
 					} else {
 						spec.Priority = "high"
 						spec.Verify = false // keep the flood cheap
 					}
 				}
-				r := driveJob(ctx, client, addr, spec)
-				retries.Add(int64(r.retries))
+				r := driveJob(ctx, c, spec)
 				resMu.Lock()
 				results = append(results, r)
 				resMu.Unlock()
 			}
-		}(c)
+		}(cl)
 	}
 
 	// In mixed mode a bulk client bursts large volumes whose cost estimates
@@ -231,7 +251,7 @@ func run(lc loadConfig) error {
 			go func(b int) {
 				defer bulkWG.Done()
 				time.Sleep(400*time.Millisecond + time.Duration(b)*10*time.Millisecond)
-				spec := service.Spec{
+				spec := api.Spec{
 					Phantom:  "industrial",
 					NX:       lc.bigNX,
 					NP:       2 * lc.bigNX,
@@ -240,8 +260,7 @@ func run(lc loadConfig) error {
 					Priority: "normal",
 					Client:   "bulk",
 				}
-				r := driveJob(ctx, client, addr, spec)
-				retries.Add(int64(r.retries))
+				r := driveJob(ctx, c, spec)
 				bulkMu.Lock()
 				bulk = append(bulk, r)
 				bulkMu.Unlock()
@@ -251,7 +270,7 @@ func run(lc loadConfig) error {
 
 	// One extra job is cancelled mid-flight to measure teardown latency.
 	cancelRes := make(chan error, 1)
-	go func() { cancelRes <- cancelProbe(ctx, client, addr, lc.nx) }()
+	go func() { cancelRes <- cancelProbe(ctx, c, lc.nx) }()
 
 	wg.Wait()
 	bulkWG.Wait()
@@ -259,82 +278,39 @@ func run(lc loadConfig) error {
 	cancelErr := <-cancelRes
 
 	results = append(results, bulk...)
-	return report(client, addr, lc, results, wall, retries.Load(), cancelErr)
+	return report(ctx, c, lc, results, wall, retries.Load(), cancelErr)
 }
 
-// driveJob submits one spec (retrying 503 backpressure and 429 quota with
-// backoff) and polls it to a terminal state.
-func driveJob(ctx context.Context, client *http.Client, addr string, spec service.Spec) result {
-	body, _ := json.Marshal(spec)
+// driveJob submits one spec (the SDK retries backpressure under the hood)
+// and awaits its terminal state.
+func driveJob(ctx context.Context, c *client.Client, spec api.Spec) result {
 	start := time.Now()
 	var r result
-	for {
-		if err := ctx.Err(); err != nil {
-			r.err = err
-			return r
-		}
-		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			r.err = err
-			return r
-		}
-		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
-			resp.Body.Close()
-			r.retries++
-			time.Sleep(25 * time.Millisecond)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-			r.err = fmt.Errorf("submit: HTTP %d", resp.StatusCode)
-			resp.Body.Close()
-			return r
-		}
-		err = json.NewDecoder(resp.Body).Decode(&r.view)
-		resp.Body.Close()
-		if err != nil {
-			r.err = err
-			return r
-		}
-		r.id = r.view.ID
-		break
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		r.err = err
+		return r
 	}
-	for !r.view.State.Terminal() {
-		if err := ctx.Err(); err != nil {
-			r.err = err
-			return r
-		}
-		time.Sleep(10 * time.Millisecond)
-		resp, err := client.Get(addr + "/v1/jobs/" + r.id)
-		if err != nil {
-			r.err = err
-			return r
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			r.err = fmt.Errorf("poll %s: HTTP %d", r.id, resp.StatusCode)
-			return r
-		}
-		err = json.NewDecoder(resp.Body).Decode(&r.view)
-		resp.Body.Close()
-		if err != nil {
-			r.err = err
-			return r
-		}
+	r.id = v.ID
+	r.view, err = c.Await(ctx, v.ID, 10*time.Millisecond)
+	if err != nil {
+		r.err = err
+		return r
 	}
 	r.latency = time.Since(start)
-	if r.view.State != service.StateDone {
+	if r.view.State != api.StateDone {
 		r.err = fmt.Errorf("job %s ended %s: %s", r.id, r.view.State, r.view.Error)
 	}
 	return r
 }
 
 // runStream is the streaming-delivery scenario: one verified job, its
-// /events and /stream endpoints consumed live, reporting time-to-first-slice
-// (the iFDK "instant" metric) against time-to-full-volume. Verification is
-// on deliberately — it is the service's slowest epilogue, so the gap between
-// "first slice in hand" and "job terminal" is the paper's point made
-// measurable.
-func runStream(ctx context.Context, client *http.Client, addr string, lc loadConfig) error {
+// /events and /stream endpoints consumed live through the SDK, reporting
+// time-to-first-slice (the iFDK "instant" metric) against
+// time-to-full-volume. Verification is on deliberately — it is the
+// service's slowest epilogue, so the gap between "first slice in hand" and
+// "job terminal" is the paper's point made measurable.
+func runStream(ctx context.Context, c *client.Client, lc loadConfig) error {
 	nx := lc.nx
 	if nx < 48 {
 		// Below this the whole job finishes in ~100ms and fixed overheads
@@ -343,10 +319,14 @@ func runStream(ctx context.Context, client *http.Client, addr string, lc loadCon
 		fmt.Printf("raising -nx %d to 64 for a measurable run\n", nx)
 		nx = 64
 	}
-	spec := service.Spec{Phantom: "sphere", NX: nx, NP: 4 * nx, R: 2, C: 2,
+	spec := api.Spec{Phantom: "sphere", NX: nx, NP: 4 * nx, R: 2, C: 2,
 		Verify: true, Client: "stream"}
-	fmt.Printf("streaming scenario: one verified %s job nx=%d np=%d on a 2x2 grid\n",
-		spec.Phantom, spec.NX, spec.NP)
+	enc := "identity"
+	if lc.gzip {
+		enc = "gzip per part"
+	}
+	fmt.Printf("streaming scenario: one verified %s job nx=%d np=%d on a 2x2 grid (%s)\n",
+		spec.Phantom, spec.NX, spec.NP, enc)
 
 	// Warm the dataset first: staging is content-addressed and shared, so a
 	// cheap unverified warmup job pays the one-time projection synthesis and
@@ -356,134 +336,68 @@ func runStream(ctx context.Context, client *http.Client, addr string, lc loadCon
 	warm := spec
 	warm.Verify = false
 	warmStart := time.Now()
-	if w := driveJob(ctx, client, addr, warm); w.err != nil {
+	if w := driveJob(ctx, c, warm); w.err != nil {
 		return fmt.Errorf("stream warmup: %w", w.err)
 	}
 	fmt.Printf("warmup (staging + first reconstruction): %v\n",
 		time.Since(warmStart).Round(time.Millisecond))
 
-	body, _ := json.Marshal(spec)
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	v, err := c.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("stream submit: %w", err)
-	}
-	var v service.View
-	err = json.NewDecoder(resp.Body).Decode(&v)
-	resp.Body.Close()
-	if err != nil || v.ID == "" {
-		return fmt.Errorf("stream submit: %v (HTTP %d)", err, resp.StatusCode)
 	}
 	if v.CacheHit {
 		return fmt.Errorf("stream scenario: job %s was a cache hit; point -addr at a fresh server", v.ID)
 	}
 
-	// Streaming responses outlive the general client's 30s timeout budget.
-	sclient := &http.Client{}
-
 	type sseResult struct {
 		rounds, slices       int
 		roundBeforeSlice     bool
 		firstSlice, terminal time.Duration
-		state                service.State
+		state                api.State
 		err                  error
 	}
 	ssec := make(chan sseResult, 1)
 	go func() {
 		var r sseResult
 		defer func() { ssec <- r }()
-		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+v.ID+"/events", nil)
-		resp, err := sclient.Do(req)
-		if err != nil {
-			r.err = err
-			return
-		}
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		for sc.Scan() {
-			line := sc.Text()
-			if !strings.HasPrefix(line, "data: ") {
-				continue
-			}
-			var e service.Event
-			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e) != nil {
-				continue
-			}
+		r.state, r.err = c.Watch(ctx, v.ID, func(e api.Event) error {
 			switch {
-			case e.Type == service.EventRound:
+			case e.Type == api.EventRound:
 				r.rounds++
 				if r.slices == 0 {
 					r.roundBeforeSlice = true
 				}
-			case e.Type == service.EventSlice:
+			case e.Type == api.EventSlice:
 				if r.slices == 0 {
 					r.firstSlice = time.Since(start)
 				}
 				r.slices++
 			case e.Type.Terminal():
 				r.terminal = time.Since(start)
-				r.state = e.State
-				return
 			}
-		}
-		r.err = fmt.Errorf("events stream ended without a terminal event")
+			return nil
+		})
 	}()
 
 	type streamResult struct {
-		slices               int
+		res                  *client.StreamResult
 		firstSlice, terminal time.Duration
-		bytes                int64
-		final                service.View
 		err                  error
 	}
 	strc := make(chan streamResult, 1)
 	go func() {
 		var r streamResult
 		defer func() { strc <- r }()
-		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+v.ID+"/stream", nil)
-		resp, err := sclient.Do(req)
-		if err != nil {
-			r.err = err
-			return
-		}
-		defer resp.Body.Close()
-		_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
-		if err != nil || params["boundary"] == "" {
-			r.err = fmt.Errorf("stream: unexpected Content-Type %q", resp.Header.Get("Content-Type"))
-			return
-		}
-		mr := multipart.NewReader(resp.Body, params["boundary"])
-		seen := map[int]bool{}
-		for {
-			p, err := mr.NextPart()
-			if err != nil {
-				r.err = fmt.Errorf("stream ended without a terminal part: %v", err)
-				return
-			}
-			if p.Header.Get("Content-Type") == "application/json" {
-				if err := json.NewDecoder(p).Decode(&r.final); err != nil {
-					r.err = err
-				}
-				r.terminal = time.Since(start)
-				return
-			}
-			z, _ := strconv.Atoi(p.Header.Get("X-Slice-Z"))
-			if seen[z] {
-				r.err = fmt.Errorf("slice %d streamed twice", z)
-				return
-			}
-			seen[z] = true
-			n, err := io.Copy(io.Discard, p)
-			if err != nil {
-				r.err = err
-				return
-			}
-			if r.slices == 0 {
+		first := true
+		r.res, r.err = c.Stream(ctx, v.ID, func(z, total int) {
+			if first {
 				r.firstSlice = time.Since(start)
+				first = false
 			}
-			r.slices++
-			r.bytes += n
-		}
+		})
+		r.terminal = time.Since(start)
 	}()
 
 	sse := <-ssec
@@ -498,20 +412,29 @@ func runStream(ctx context.Context, client *http.Client, addr string, lc loadCon
 	ttfs := str.firstSlice
 	ttfv := str.terminal
 	fmt.Printf("\n=== streaming results (job %s) ===\n", v.ID)
-	fmt.Printf("time-to-first-slice: %v  (%d/%d slices, %.1f KiB streamed)\n",
-		ttfs.Round(time.Millisecond), str.slices, spec.NX, float64(str.bytes)/1024)
+	fmt.Printf("time-to-first-slice: %v  (%d/%d slices, %.1f KiB on the wire)\n",
+		ttfs.Round(time.Millisecond), str.res.Slices, spec.NX, float64(str.res.WireBytes)/1024)
 	fmt.Printf("time-to-full-volume: %v  (terminal state %s, SSE terminal %v)\n",
-		ttfv.Round(time.Millisecond), str.final.State, sse.terminal.Round(time.Millisecond))
+		ttfv.Round(time.Millisecond), str.res.Final.State, sse.terminal.Round(time.Millisecond))
 	fmt.Printf("progress events:     %d rounds, %d slice events (first slice via SSE at %v)\n",
 		sse.rounds, sse.slices, sse.firstSlice.Round(time.Millisecond))
+	if lc.gzip {
+		saved := str.res.RawBytes - str.res.WireBytes
+		pct := 0.0
+		if str.res.RawBytes > 0 {
+			pct = 100 * float64(saved) / float64(str.res.RawBytes)
+		}
+		fmt.Printf("gzip:                %.1f KiB raw -> %.1f KiB wire, %.1f KiB saved (%.1f%%)\n",
+			float64(str.res.RawBytes)/1024, float64(str.res.WireBytes)/1024, float64(saved)/1024, pct)
+	}
 	fmt.Printf("speedup:             first slice arrived at %.0f%% of full-volume latency\n",
 		100*ttfs.Seconds()/ttfv.Seconds())
 
 	switch {
-	case str.final.State != service.StateDone:
-		return fmt.Errorf("streamed job ended %s: %s", str.final.State, str.final.Error)
-	case str.slices != spec.NX:
-		return fmt.Errorf("streamed %d slices, want %d", str.slices, spec.NX)
+	case str.res.Final.State != api.StateDone:
+		return fmt.Errorf("streamed job ended %s: %s", str.res.Final.State, str.res.Final.Error)
+	case str.res.Slices != spec.NX:
+		return fmt.Errorf("streamed %d slices, want %d", str.res.Slices, spec.NX)
 	case sse.rounds < 1 || !sse.roundBeforeSlice:
 		return fmt.Errorf("no progress events before the first slice (%d rounds)", sse.rounds)
 	case sse.slices != spec.NX:
@@ -521,6 +444,8 @@ func runStream(ctx context.Context, client *http.Client, addr string, lc loadCon
 		// first slice near 50% of completion; any parallelism pushes it
 		// further down. Above 70% the streaming path is broken.
 		return fmt.Errorf("first slice at %v is not a wide margin over full volume at %v (want < 70%%)", ttfs, ttfv)
+	case lc.gzip && str.res.WireBytes >= str.res.RawBytes:
+		return fmt.Errorf("gzip negotiated but saved nothing (%d wire >= %d raw)", str.res.WireBytes, str.res.RawBytes)
 	}
 	fmt.Println("streaming scenario OK")
 	return nil
@@ -528,53 +453,31 @@ func runStream(ctx context.Context, client *http.Client, addr string, lc loadCon
 
 // cancelProbe submits a job and cancels it immediately, checking that the
 // service settles it quickly.
-func cancelProbe(ctx context.Context, client *http.Client, addr string, nx int) error {
-	spec := service.Spec{Phantom: "sphere", NX: nx, NP: 8 * nx, R: 2, C: 2, Priority: "low", Client: "probe"}
-	body, _ := json.Marshal(spec)
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+func cancelProbe(ctx context.Context, c *client.Client, nx int) error {
+	spec := api.Spec{Phantom: "sphere", NX: nx, NP: 8 * nx, R: 2, C: 2, Priority: "low", Client: "probe"}
+	v, err := c.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("cancel probe submit: %w", err)
 	}
-	var v service.View
-	err = json.NewDecoder(resp.Body).Decode(&v)
-	resp.Body.Close()
-	if err != nil || v.ID == "" {
-		return fmt.Errorf("cancel probe submit: %v (HTTP %d)", err, resp.StatusCode)
-	}
-	req, _ := http.NewRequestWithContext(ctx, http.MethodDelete, addr+"/v1/jobs/"+v.ID, nil)
-	dresp, err := client.Do(req)
-	if err != nil {
+	if err := c.Cancel(ctx, v.ID); err != nil {
 		return fmt.Errorf("cancel probe delete: %w", err)
 	}
-	dresp.Body.Close()
 	start := time.Now()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := client.Get(addr + "/v1/jobs/" + v.ID)
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode == http.StatusNotFound {
-			// The probe finished before the DELETE arrived, which then
-			// removed the terminal record: also a settled state.
-			resp.Body.Close()
+	probeCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	final, err := c.Await(probeCtx, v.ID, 5*time.Millisecond)
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code == api.CodeNotFound {
+			// The probe finished before the cancel arrived, which then
+			// deleted the terminal record: also a settled state.
 			fmt.Printf("cancel probe: job %s finished before cancel and was deleted\n", v.ID)
 			return nil
 		}
-		err = json.NewDecoder(resp.Body).Decode(&v)
-		resp.Body.Close()
-		if err != nil {
-			return fmt.Errorf("cancel probe poll: %w", err)
-		}
-		if v.State.Terminal() {
-			fmt.Printf("cancel probe: job %s settled as %s in %v\n", v.ID, v.State, time.Since(start).Round(time.Millisecond))
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cancel probe: job %s still %s after 10s", v.ID, v.State)
-		}
-		time.Sleep(5 * time.Millisecond)
+		return fmt.Errorf("cancel probe: job %s did not settle promptly: %w", v.ID, err)
 	}
+	fmt.Printf("cancel probe: job %s settled as %s in %v\n", v.ID, final.State, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -585,7 +488,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(client *http.Client, addr string, lc loadConfig, results []result, wall time.Duration, retries int64, cancelErr error) error {
+func report(ctx context.Context, c *client.Client, lc loadConfig, results []result, wall time.Duration, retries int64, cancelErr error) error {
 	var lats []time.Duration
 	var failures, cacheHits, verified int
 	var worstRMSE float64
@@ -626,23 +529,19 @@ func report(client *http.Client, addr string, lc loadConfig, results []result, w
 	fmt.Printf("cache hits:  %d/%d jobs\n", cacheHits, len(results))
 	fmt.Printf("verified:    %d jobs vs serial FDK, worst relative RMSE %.2e (bound 1e-5)\n", verified, worstRMSE)
 
-	if resp, err := client.Get(addr + "/v1/metrics"); err == nil {
-		var mt service.Metrics
-		if json.NewDecoder(resp.Body).Decode(&mt) == nil {
-			fmt.Printf("server:      %d workers, %d runs + %d cache hits, cache %d entries %.1f/%.1f MiB, PFS %.1f MB written\n",
-				mt.Workers, mt.Completed, mt.CacheHits, mt.Cache.Entries, float64(mt.Cache.Bytes)/(1<<20),
-				float64(mt.Cache.MaxBytes)/(1<<20), mt.PFSWriteMB)
-			fmt.Printf("admission:   %d admitted, rejected: %d full, %d cost, %d bytes, %d quota (cost scale %.3g)\n",
-				mt.Admission.Admitted, mt.Admission.RejectedFull, mt.Admission.RejectedCost,
-				mt.Admission.RejectedBytes, mt.Admission.RejectedQuota, mt.CostScale)
-			for _, class := range []string{"high", "normal", "low"} {
-				if ws, ok := mt.WaitSec[class]; ok {
-					fmt.Printf("wait[%s]:  p50 %.3fs  p90 %.3fs  p99 %.3fs  (%d jobs)\n",
-						class, ws.P50, ws.P90, ws.P99, ws.Count)
-				}
+	if mt, err := c.Metrics(ctx); err == nil {
+		fmt.Printf("server:      %d workers, %d runs + %d cache hits, cache %d entries %.1f/%.1f MiB, PFS %.1f MB written\n",
+			mt.Workers, mt.Completed, mt.CacheHits, mt.Cache.Entries, float64(mt.Cache.Bytes)/(1<<20),
+			float64(mt.Cache.MaxBytes)/(1<<20), mt.PFSWriteMB)
+		fmt.Printf("admission:   %d admitted, rejected: %d full, %d cost, %d bytes, %d quota (cost scale %.3g)\n",
+			mt.Admission.Admitted, mt.Admission.RejectedFull, mt.Admission.RejectedCost,
+			mt.Admission.RejectedBytes, mt.Admission.RejectedQuota, mt.CostScale)
+		for _, class := range []string{"high", "normal", "low"} {
+			if ws, ok := mt.WaitSec[class]; ok {
+				fmt.Printf("wait[%s]:  p50 %.3fs  p90 %.3fs  p99 %.3fs  (%d jobs)\n",
+					class, ws.P50, ws.P90, ws.P99, ws.Count)
 			}
 		}
-		resp.Body.Close()
 	}
 
 	if lc.mixed {

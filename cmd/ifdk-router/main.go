@@ -1,0 +1,111 @@
+// Command ifdk-router fronts a fleet of ifdkd backends with one endpoint
+// speaking the same versioned /v1 API as a single daemon. Jobs are placed
+// by rendezvous-hashing their content cache key, so identical requests
+// always land on the same backend and every node's result cache stays hot;
+// SSE event streams and mid-run multipart slice streams proxy through
+// unbuffered; /v1/metrics aggregates the whole fleet; and a health loop
+// reroutes pending (never-started) jobs off dead backends.
+//
+//	ifdkd -addr :8081 -node b0 &
+//	ifdkd -addr :8082 -node b1 &
+//	ifdk-router -addr :8080 -backends b0=http://localhost:8081,b1=http://localhost:8082
+//
+// Clients point pkg/client (or curl) at the router exactly as they would at
+// one ifdkd. Run each backend with a distinct -node so job IDs are globally
+// unique across the fleet.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ifdk/internal/router"
+)
+
+func parseBackends(s string) ([]router.Backend, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-backends is required (name=url,name=url,... or url,url,...)")
+	}
+	var out []router.Backend
+	for i, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(item, "=")
+		if !ok {
+			name, u = fmt.Sprintf("b%d", i), item
+		}
+		out = append(out, router.Backend{Name: name, URL: strings.TrimRight(u, "/")})
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "",
+		"comma-separated backends, name=url pairs (bare urls get b0,b1,... names matching each ifdkd's -node)")
+	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "backend health probe period")
+	deadAfter := flag.Int("dead-after", 2, "consecutive failed probes before a backend is dead")
+	flag.Parse()
+
+	if err := run(*addr, *backends, *healthEvery, *deadAfter); err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int) error {
+	bs, err := parseBackends(backendSpec)
+	if err != nil {
+		return err
+	}
+	rt, err := router.New(router.Options{
+		Backends:    bs,
+		HealthEvery: healthEvery,
+		DeadAfter:   deadAfter,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	srv := &http.Server{Addr: addr, Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ifdk-router: serving on %s over %d backends (probe %v, dead after %d)",
+			addr, len(bs), healthEvery, deadAfter)
+		for _, b := range bs {
+			log.Printf("ifdk-router:   backend %s -> %s", b.Name, b.URL)
+		}
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("ifdk-router: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("ifdk-router: http shutdown: %v", err)
+	}
+	log.Print("ifdk-router: bye")
+	return nil
+}

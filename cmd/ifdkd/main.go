@@ -59,6 +59,8 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 1024, "result cache budget in MiB (<= 0 disables)")
 	eventLog := flag.Int("event-log", 0,
 		"retained events per job for /events resume and /stream replay (0 = default 1024)")
+	node := flag.String("node", "",
+		"node id prefixed to job ids; give every backend behind an ifdk-router a distinct one")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
 	flag.Parse()
@@ -70,6 +72,7 @@ func main() {
 		MaxInflightBytes: *maxInflightMB << 20,
 		QuotaRPS:         *quotaRPS,
 		EventLogCap:      *eventLog,
+		NodeID:           *node,
 	}
 	if *aging <= 0 {
 		opt.Aging = -1 // disabled (0 in Options means "default")

@@ -21,10 +21,14 @@ import (
 const tagAssemble = 100
 
 // projItem flows through the pipeline ring buffers: a filtered projection
-// with its global index.
+// with its global index. Items from the filtering stage carry a pooled
+// engine.Images image (buf == nil); items fanned out of the AllGather carry
+// a pooled collective block (buf != nil) wrapped in a throwaway Image
+// header — whoever consumes the item releases exactly its pooled backing.
 type projItem struct {
 	s   int
 	img *volume.Image
+	buf *engine.Buf[float32]
 }
 
 // Run executes a distributed reconstruction on R·C in-process MPI ranks,
@@ -179,6 +183,13 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 			}
 			var imgs []*volume.Image
 			var mats []geometry.ProjMat
+			var bufs []*engine.Buf[float32]
+			releaseBufs := func() {
+				for _, b := range bufs {
+					b.Release()
+				}
+				bufs = bufs[:0]
+			}
 			flush := func() error {
 				if len(imgs) == 0 {
 					return nil
@@ -186,7 +197,11 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				bpStart := time.Now()
 				task := backproject.Task{Mats: mats, Proj: imgs}
 				opt := backproject.Options{Workers: cfg.workers(), Batch: batchSize}
-				if err := backproject.ProposedSlabPair(task, local, opt, g.Nz, z0, z1); err != nil {
+				err := backproject.ProposedSlabPair(task, local, opt, g.Nz, z0, z1)
+				// The batch is consumed (or abandoned) either way: its
+				// pooled AllGather blocks go back for the next round.
+				releaseBufs()
+				if err != nil {
 					return err
 				}
 				t.Backproject += time.Since(bpStart)
@@ -199,6 +214,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 					return flush()
 				}
 				imgs = append(imgs, it.img)
+				bufs = append(bufs, it.buf)
 				mats = append(mats, geometry.ProjectionMatrix(g, g.Beta(it.s)))
 				if len(imgs) == batchSize {
 					if err := flush(); err != nil {
@@ -227,9 +243,9 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				return fmt.Errorf("rank %d: projection %d out of order (want %d)", c.Rank(), it.s, myLo+r)
 			}
 			agStart := time.Now()
-			blocks, err := colComm.AllGather(it.img.Data)
-			// AllGather copies the payload into its own blocks, so the
-			// pooled projection can be recycled immediately.
+			blocks, err := colComm.AllGatherBufs(it.img.Data)
+			// The AllGather copies the payload into its own pooled blocks,
+			// so the pooled projection can be recycled immediately.
 			engine.Images.Release(it.img)
 			if err != nil {
 				return err
@@ -237,7 +253,10 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 			t.AllGather += time.Since(agStart)
 			for i, blk := range blocks {
 				s := colLo + i*quota + r
-				if !ringB.Put(projItem{s: s, img: &volume.Image{W: g.Nu, H: g.Nv, Data: blk}}) {
+				if !ringB.Put(projItem{s: s, img: &volume.Image{W: g.Nu, H: g.Nv, Data: blk.Data}, buf: blk}) {
+					for _, rest := range blocks[i:] {
+						rest.Release() // never enqueued: back to the pool here
+					}
 					return fmt.Errorf("rank %d: back-projection ended early", c.Rank())
 				}
 			}
@@ -246,10 +265,11 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 		return nil
 	}()
 	// abandon unwinds an aborted pipeline without leaking pooled buffers:
-	// filtered projections stranded in ringA and the rank's slab-pair
-	// volume go back to their pools (the engine's in-use gauges feed
-	// admission metrics, so cancelled jobs must balance their books too).
-	// ringA is closed by then, so Get drains the leftovers and reports !ok.
+	// filtered projections stranded in ringA, AllGather blocks stranded in
+	// ringB and the rank's slab-pair volume go back to their pools (the
+	// engine's in-use gauges feed admission metrics, so cancelled jobs must
+	// balance their books too). Both rings are closed by then, so Get
+	// drains the leftovers and reports !ok.
 	abandon := func() {
 		for {
 			it, ok := ringA.Get()
@@ -257,6 +277,13 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				break
 			}
 			engine.Images.Release(it.img)
+		}
+		for {
+			it, ok := ringB.Get()
+			if !ok {
+				break
+			}
+			it.buf.Release() // the wrapped Image header is throwaway
 		}
 		engine.Volumes.Release(local)
 	}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"ifdk/internal/race"
+)
+
+// AllGatherBufs must return exactly what AllGather returns, block for
+// block, under the pooled ownership contract.
+func TestAllGatherBufsMatchesAllGather(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		data := make([]float32, 64)
+		for i := range data {
+			data[i] = float32(c.Rank()*1000 + i)
+		}
+		ref, err := c.AllGather(data)
+		if err != nil {
+			return err
+		}
+		got, err := c.AllGatherBufs(data)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			for _, b := range got {
+				b.Release()
+			}
+		}()
+		for r := 0; r < n; r++ {
+			if len(got[r].Data) != len(ref[r]) {
+				t.Errorf("rank %d block %d: len %d vs %d", c.Rank(), r, len(got[r].Data), len(ref[r]))
+				return nil
+			}
+			for i := range ref[r] {
+				if got[r].Data[i] != ref[r][i] {
+					t.Errorf("rank %d block %d differs at %d", c.Rank(), r, i)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The per-round receive blocks must come from the pool, not the heap: the
+// steady-state allocation rate of pooled rounds has to sit far below the
+// unpooled baseline of size blocks × block bytes per rank per round. GC is
+// disabled across the measurement so sync.Pool cannot be drained mid-test.
+func TestAllGatherBufsAllocRegression(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	const (
+		ranks    = 4
+		blockLen = 16 * 1024 // 64 KiB per block, a realistic projection row block
+		rounds   = 50
+	)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	doRounds := func(k int) error {
+		return Run(ranks, func(c *Comm) error {
+			data := make([]float32, blockLen)
+			for r := 0; r < k; r++ {
+				bufs, err := c.AllGatherBufs(data)
+				if err != nil {
+					return err
+				}
+				for _, b := range bufs {
+					b.Release()
+				}
+			}
+			return nil
+		})
+	}
+	// Warm the pool (first rounds do allocate their blocks).
+	if err := doRounds(4); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := doRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	perRound := int64(after.TotalAlloc-before.TotalAlloc) / rounds
+	// Unpooled, every rank allocates its own copy plus size-1 receive
+	// blocks per round: ranks × ranks × blockLen × 4 bytes.
+	unpooled := int64(ranks * ranks * blockLen * 4)
+	t.Logf("pooled AllGather allocates %d B/round (unpooled baseline %d B/round)", perRound, unpooled)
+	if perRound > unpooled/5 {
+		t.Fatalf("AllGatherBufs allocates %d B/round, want < 20%% of the %d B/round unpooled baseline — blocks are not being pooled",
+			perRound, unpooled)
+	}
+}

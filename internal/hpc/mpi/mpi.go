@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ifdk/internal/engine"
 )
 
 // ErrAborted is returned by communication calls after any rank in the world
@@ -32,7 +34,14 @@ type envelope struct {
 	src  int   // global source rank
 	tag  int
 	data []float32
+	buf  *engine.Buf[float32] // non-nil when data rides a pooled block
 }
+
+// blockPool recycles collective payload blocks across rounds. The paper's
+// pipeline performs one AllGather per projection round (Sec. 4.1.3), so an
+// unpooled implementation allocates size×block bytes per rank per round —
+// the last steady-state allocation left in the compute plane after PR 2.
+var blockPool engine.BufPool[float32]
 
 // mailbox holds undelivered messages for one global rank.
 type mailbox struct {
@@ -123,6 +132,13 @@ func (w *world) abort() {
 	for _, b := range w.boxes {
 		b.mu.Lock()
 		b.aborted = true
+		// Undelivered messages will never be received (recv reports
+		// ErrAborted without dequeuing); recycle their pooled blocks
+		// instead of stranding them until GC.
+		for i := range b.queue {
+			b.queue[i].buf.Release() // nil-safe
+		}
+		b.queue = nil
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
@@ -230,14 +246,37 @@ func (c *Comm) send(dst, tag int, data []float32) error {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
+	c.enqueue(dst, tag, envelope{data: cp})
+	return nil
+}
+
+// sendPooled is send with the payload copy drawn from the shared block
+// pool instead of the heap; the receiving end recovers the pooled handle
+// through recvPooled and owns its release.
+func (c *Comm) sendPooled(dst, tag int, data []float32) error {
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.Size())
+	}
+	if c.shared.w.aborted.Load() {
+		// An aborted world delivers nothing: drop before acquiring, or the
+		// block would strand in a mailbox no one will ever drain.
+		return ErrAborted
+	}
+	buf := blockPool.Acquire(len(data))
+	copy(buf.Data, data)
+	c.enqueue(dst, tag, envelope{data: buf.Data, buf: buf})
+	return nil
+}
+
+func (c *Comm) enqueue(dst, tag int, env envelope) {
+	env.ctx, env.src, env.tag = c.shared.ctx, c.rank, tag
 	box := c.shared.w.boxes[c.shared.global[dst]]
 	box.mu.Lock()
-	box.queue = append(box.queue, envelope{ctx: c.shared.ctx, src: c.rank, tag: tag, data: cp})
+	box.queue = append(box.queue, env)
 	box.cond.Broadcast()
 	box.mu.Unlock()
-	c.shared.w.bytesSent.Add(int64(4 * len(data)))
+	c.shared.w.bytesSent.Add(int64(4 * len(env.data)))
 	c.shared.w.msgsSent.Add(1)
-	return nil
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -250,8 +289,32 @@ func (c *Comm) Recv(src, tag int) ([]float32, error) {
 }
 
 func (c *Comm) recv(src, tag int) ([]float32, error) {
+	env, err := c.recvEnvelope(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return env.data, nil
+}
+
+// recvPooled is recv returning the pooled block handle; the caller owns the
+// release. A payload that arrived unpooled is copied into a pooled block so
+// the ownership contract is uniform.
+func (c *Comm) recvPooled(src, tag int) (*engine.Buf[float32], error) {
+	env, err := c.recvEnvelope(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if env.buf != nil {
+		return env.buf, nil
+	}
+	buf := blockPool.Acquire(len(env.data))
+	copy(buf.Data, env.data)
+	return buf, nil
+}
+
+func (c *Comm) recvEnvelope(src, tag int) (envelope, error) {
 	if src < 0 || src >= c.Size() {
-		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.Size())
+		return envelope{}, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.Size())
 	}
 	box := c.shared.w.boxes[c.GlobalRank()]
 	box.mu.Lock()
@@ -260,11 +323,11 @@ func (c *Comm) recv(src, tag int) ([]float32, error) {
 		for i, env := range box.queue {
 			if env.ctx == c.shared.ctx && env.src == src && env.tag == tag {
 				box.queue = append(box.queue[:i], box.queue[i+1:]...)
-				return env.data, nil
+				return env, nil
 			}
 		}
 		if box.aborted {
-			return nil, ErrAborted
+			return envelope{}, ErrAborted
 		}
 		box.cond.Wait()
 	}
@@ -398,6 +461,45 @@ func (c *Comm) AllGather(data []float32) ([][]float32, error) {
 		}
 		got, err := c.recv(left, tagAllG)
 		if err != nil {
+			return nil, err
+		}
+		out[(c.rank-step-1+size)%size] = got
+	}
+	return out, nil
+}
+
+// AllGatherBufs is AllGather with every block — the rank's own copy and
+// each received one — drawn from a shared pool instead of the heap. The
+// caller owns all size returned blocks and must Release each when done;
+// out[i].Data is rank i's payload. This is the allocation-free path the
+// per-round pipeline uses: the ring exchanges the same block sizes every
+// round, so steady state recycles instead of allocating (see the
+// AllGather-block item on the ROADMAP, closed by this method).
+func (c *Comm) AllGatherBufs(data []float32) ([]*engine.Buf[float32], error) {
+	size := c.Size()
+	out := make([]*engine.Buf[float32], size)
+	release := func() {
+		for _, b := range out {
+			b.Release() // nil-safe
+		}
+	}
+	own := blockPool.Acquire(len(data))
+	copy(own.Data, data)
+	out[c.rank] = own
+	if size == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % size
+	left := (c.rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (c.rank - step + size) % size
+		if err := c.sendPooled(right, tagAllG, out[sendIdx].Data); err != nil {
+			release()
+			return nil, err
+		}
+		got, err := c.recvPooled(left, tagAllG)
+		if err != nil {
+			release()
 			return nil, err
 		}
 		out[(c.rank-step-1+size)%size] = got

@@ -1,0 +1,935 @@
+// Package router is the front of an ifdkd fleet: one HTTP endpoint that
+// speaks the same versioned pkg/api contract as a single daemon, backed by
+// N reconstruction backends. It is the serving-side half of the paper's
+// scalability story — the compute plane already partitions across a rank
+// grid (Fig. 3), and the router partitions the *service* across nodes.
+//
+// Placement is rendezvous hashing on the job's content cache key
+// (service.SpecKey): every submission of the same reconstruction lands on
+// the same backend, so each backend's result cache and staged datasets stay
+// as hot as a single node's would — adding nodes multiplies capacity
+// without multiplying cold misses. Rendezvous (highest-random-weight)
+// hashing means a dead backend reshuffles only its own keys.
+//
+// The router proxies the full v1 surface, including the streaming
+// endpoints: SSE event streams (with Last-Event-ID resume) and mid-run
+// multipart slice streams pass through unbuffered. /v1/metrics fans in all
+// live backends into one fleet-aggregate snapshot. A health loop probes
+// /healthz; when a backend dies, jobs the router last saw queued (never
+// started) are resubmitted to a surviving backend under their original
+// public ID — pending work survives node death. Running jobs are not
+// failed over (their partial state lives on the dead node's PFS); their
+// routes surface the retryable "unavailable" code instead.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ifdk/internal/service"
+	"ifdk/pkg/api"
+)
+
+// Backend names one ifdkd instance behind the router.
+type Backend struct {
+	Name string // stable identity in the hash ring (e.g. "b0")
+	URL  string // base URL, e.g. "http://10.0.0.7:8080"
+}
+
+// Options configures a Router.
+type Options struct {
+	Backends    []Backend
+	HealthEvery time.Duration                 // health probe period (default 500ms)
+	DeadAfter   int                           // consecutive probe failures before a backend is dead (default 2)
+	MaxRoutes   int                           // retained job routes; terminal ones are pruned first (default 8192)
+	Client      *http.Client                  // JSON/health transport (default: 15s timeout)
+	Logf        func(format string, a ...any) // optional event log
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 500 * time.Millisecond
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 2
+	}
+	if o.MaxRoutes <= 0 {
+		o.MaxRoutes = 8192
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 15 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// backendState is one backend plus its health bookkeeping.
+type backendState struct {
+	Backend
+	proxy      *httputil.ReverseProxy
+	alive      bool
+	fails      int
+	nodeWarned bool // one-shot warning about a missing/mismatched -node id
+}
+
+// jobRoute records where a public job ID lives. backendID differs from the
+// public ID only after a failover resubmission.
+type jobRoute struct {
+	backend   string
+	backendID string
+	spec      api.Spec
+	state     api.State // last state the router observed for the job
+}
+
+// Router is an http.Handler fronting a fleet of ifdkd backends.
+type Router struct {
+	opt Options
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	backends map[string]*backendState
+	names    []string // stable iteration order
+	jobs     map[string]*jobRoute
+	order    []string // route insertion order, for bounded pruning
+
+	reroutes  atomic.Int64 // jobs failed over after backend death
+	stop      chan struct{}
+	healthWG  sync.WaitGroup
+	startOnce sync.Once
+}
+
+// New builds a router over the given backends and starts its health loop.
+// Call Close to stop it.
+func New(opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	if len(opt.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends configured")
+	}
+	rt := &Router{
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		backends: make(map[string]*backendState),
+		jobs:     make(map[string]*jobRoute),
+		stop:     make(chan struct{}),
+	}
+	for _, b := range opt.Backends {
+		if b.Name == "" || b.URL == "" {
+			return nil, fmt.Errorf("router: backend needs both name and URL (%+v)", b)
+		}
+		if _, dup := rt.backends[b.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate backend name %q", b.Name)
+		}
+		u, err := url.Parse(b.URL)
+		if err != nil {
+			return nil, fmt.Errorf("router: backend %s: %w", b.Name, err)
+		}
+		proxy := httputil.NewSingleHostReverseProxy(u)
+		proxy.FlushInterval = -1 // SSE and mid-run multipart must not buffer
+		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			writeErr(w, api.CodeUnavailable, "backend %s: %v", b.Name, err)
+		}
+		rt.backends[b.Name] = &backendState{Backend: b, proxy: proxy, alive: true}
+		rt.names = append(rt.names, b.Name)
+	}
+	sort.Strings(rt.names)
+
+	rt.mux.HandleFunc("POST /v1/jobs", rt.submit)
+	rt.mux.HandleFunc("GET /v1/jobs", rt.list)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.get)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.remove)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyStream(w, r, "/events")
+	})
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyStream(w, r, "/stream")
+	})
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyStream(w, r, "/slice/"+r.PathValue("z"))
+	})
+	rt.mux.HandleFunc("GET /v1/metrics", rt.metrics)
+	rt.mux.HandleFunc("GET /v1/backends", rt.backendsHandler)
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "router"})
+	})
+
+	rt.healthWG.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop. In-flight proxied requests are unaffected.
+func (rt *Router) Close() {
+	rt.startOnce.Do(func() { close(rt.stop) })
+	rt.healthWG.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Reroutes returns how many pending jobs have been failed over so far.
+func (rt *Router) Reroutes() int64 { return rt.reroutes.Load() }
+
+// writeJSON and writeErr delegate to the contract package so the router
+// and the daemon emit byte-identical envelopes.
+func writeJSON(w http.ResponseWriter, code int, v any) { api.WriteJSON(w, code, v) }
+
+func writeErr(w http.ResponseWriter, code string, format string, args ...any) {
+	api.WriteError(w, code, format, args...)
+}
+
+// rendezvous picks the backend owning key among candidates by
+// highest-random-weight hashing: deterministic for a fixed candidate set,
+// and removing one candidate moves only that candidate's keys.
+func rendezvous(key string, candidates []string) string {
+	var best string
+	var bestScore uint64
+	for _, name := range candidates {
+		h := fnv.New64a()
+		_, _ = io.WriteString(h, key)
+		_, _ = io.WriteString(h, "|")
+		_, _ = io.WriteString(h, name)
+		if s := h.Sum64(); best == "" || s > bestScore {
+			best, bestScore = name, s
+		}
+	}
+	return best
+}
+
+// recordRoute remembers where a public job ID lives, keeping the table
+// bounded: backends prune their own terminal records (Options.MaxJobs), so
+// a router that never forgot would leak one route (with its Spec) per
+// submission forever. Terminal routes are dropped oldest-first; if the
+// table is somehow all-live, the oldest route goes regardless — its job is
+// rediscoverable through resolve's backend probe.
+func (rt *Router) recordRoute(id string, route *jobRoute) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, exists := rt.jobs[id]; !exists {
+		rt.order = append(rt.order, id)
+	}
+	rt.jobs[id] = route
+	if len(rt.jobs) <= rt.opt.MaxRoutes {
+		return
+	}
+	keep := rt.order[:0]
+	for _, oid := range rt.order {
+		r, ok := rt.jobs[oid]
+		if !ok {
+			continue // deleted via DELETE; drop the stale order entry
+		}
+		if len(rt.jobs) > rt.opt.MaxRoutes && r.state.Terminal() {
+			delete(rt.jobs, oid)
+			continue
+		}
+		keep = append(keep, oid)
+	}
+	rt.order = keep
+	for len(rt.jobs) > rt.opt.MaxRoutes && len(rt.order) > 0 {
+		delete(rt.jobs, rt.order[0])
+		rt.order = rt.order[1:]
+	}
+}
+
+// aliveNames snapshots the currently-live backend names in stable order.
+func (rt *Router) aliveNames() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.names))
+	for _, n := range rt.names {
+		if rt.backends[n].alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// markFailure records a request-path transport failure against a backend,
+// counting it like a failed health probe so a hard-down node is retired
+// without waiting a full probe period.
+// Request-path failures only count against a backend's health when the
+// *backend* failed, not when the inbound client gave up: a cancelled or
+// timed-out client request says nothing about the node, and counting it
+// would let an impatient client (or two) declare healthy backends dead and
+// trigger failover that runs queued jobs twice.
+func (rt *Router) markFailure(ctx context.Context, name string) {
+	if ctx != nil && ctx.Err() != nil {
+		return
+	}
+	rt.observeHealth(name, false)
+}
+
+// observeHealth folds one probe result into a backend's state, firing
+// failover on the alive→dead transition.
+func (rt *Router) observeHealth(name string, ok bool) {
+	rt.mu.Lock()
+	b := rt.backends[name]
+	if b == nil {
+		rt.mu.Unlock()
+		return
+	}
+	var died bool
+	if ok {
+		if !b.alive {
+			rt.opt.Logf("router: backend %s back alive", name)
+		}
+		b.alive, b.fails = true, 0
+	} else {
+		b.fails++
+		if b.alive && b.fails >= rt.opt.DeadAfter {
+			b.alive = false
+			died = true
+		}
+	}
+	rt.mu.Unlock()
+	if died {
+		rt.opt.Logf("router: backend %s dead after %d failures; rerouting pending jobs", name, rt.opt.DeadAfter)
+		rt.failover(name)
+	}
+}
+
+// checkNodeID warns (once per backend) when a backend's reported node id
+// does not match the router's name for it. Fleet-unique job IDs — and with
+// them the route table's integrity — depend on every ifdkd running with a
+// distinct -node: without one, two backends both mint "j00000001" and the
+// router would silently serve one client the other's job.
+func (rt *Router) checkNodeID(name, node string) {
+	rt.mu.Lock()
+	b := rt.backends[name]
+	warn := b != nil && !b.nodeWarned && node != name
+	if warn {
+		b.nodeWarned = true
+	}
+	rt.mu.Unlock()
+	if !warn {
+		return
+	}
+	if node == "" {
+		rt.opt.Logf("router: backend %s runs without -node; job IDs can collide across the fleet — start it with 'ifdkd -node %s'", name, name)
+	} else {
+		rt.opt.Logf("router: backend %s reports node id %q; name and -node must match for job-ID attribution — start it with 'ifdkd -node %s' or register it as %s=", name, node, name, node)
+	}
+}
+
+func (rt *Router) healthLoop() {
+	defer rt.healthWG.Done()
+	tick := time.NewTicker(rt.opt.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+		// Probe timeout floors at 2s regardless of the probe period: a
+		// slow-but-alive backend (busy CPU, GC pause) must not be declared
+		// dead by an impatient probe — a dead one fails fast anyway
+		// (connection refused), so kill detection stays prompt.
+		probeTimeout := rt.opt.HealthEvery * 4
+		if probeTimeout < 2*time.Second {
+			probeTimeout = 2 * time.Second
+		}
+		for _, name := range rt.names {
+			rt.mu.Lock()
+			b := rt.backends[name]
+			rt.mu.Unlock()
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/healthz", nil)
+			ok := false
+			var node struct {
+				Node string `json:"node"`
+			}
+			if err == nil {
+				if resp, rerr := rt.opt.Client.Do(req); rerr == nil {
+					_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&node)
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ok = resp.StatusCode == http.StatusOK
+				}
+			}
+			cancel()
+			if ok {
+				rt.checkNodeID(name, node.Node)
+			}
+			rt.observeHealth(name, ok)
+		}
+	}
+}
+
+// failover resubmits every job the router last observed queued on the dead
+// backend to a surviving one, preserving the public job ID. Jobs observed
+// running (or terminal) are left alone: their partial output lives on the
+// dead node's PFS, and re-running them is the documented remaining work
+// (deterministic re-execution would be correct but wasteful; replicated
+// PFS would be exact).
+func (rt *Router) failover(dead string) {
+	rt.mu.Lock()
+	type pending struct {
+		id   string
+		spec api.Spec
+	}
+	var moves []pending
+	for id, route := range rt.jobs {
+		if route.backend == dead && route.state == api.StateQueued {
+			moves = append(moves, pending{id: id, spec: route.spec})
+		}
+	}
+	rt.mu.Unlock()
+	sort.Slice(moves, func(i, j int) bool { return moves[i].id < moves[j].id })
+
+	for _, mv := range moves {
+		alive := rt.aliveNames()
+		if len(alive) == 0 {
+			rt.opt.Logf("router: no live backend to reroute %s", mv.id)
+			return
+		}
+		key, err := service.SpecKey(mv.spec)
+		if err != nil {
+			continue // cannot happen: the spec was admitted once already
+		}
+		target := rendezvous(key, alive)
+		v, status, err := rt.postSpec(context.Background(), target, mv.spec)
+		if err != nil || status < 200 || status > 299 {
+			rt.opt.Logf("router: reroute %s to %s failed (HTTP %d, %v)", mv.id, target, status, err)
+			continue
+		}
+		rt.mu.Lock()
+		if route, ok := rt.jobs[mv.id]; ok && route.backend == dead {
+			route.backend, route.backendID, route.state = target, v.ID, v.State
+		}
+		rt.mu.Unlock()
+		rt.reroutes.Add(1)
+		rt.opt.Logf("router: rerouted pending job %s to %s (as %s)", mv.id, target, v.ID)
+	}
+}
+
+// postSpec submits a spec to one backend and decodes the view.
+func (rt *Router) postSpec(ctx context.Context, name string, spec api.Spec) (api.View, int, error) {
+	rt.mu.Lock()
+	b := rt.backends[name]
+	rt.mu.Unlock()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return api.View{}, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/v1/jobs", bytes.NewReader(blob))
+	if err != nil {
+		return api.View{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		rt.markFailure(ctx, name)
+		return api.View{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return api.View{}, resp.StatusCode, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return api.View{}, resp.StatusCode, &rawResponse{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: body}
+	}
+	var v api.View
+	if err := json.Unmarshal(body, &v); err != nil {
+		return api.View{}, resp.StatusCode, err
+	}
+	return v, resp.StatusCode, nil
+}
+
+// rawResponse carries a backend's non-2xx response verbatim so the router
+// can relay envelope and status untouched.
+type rawResponse struct {
+	status     int
+	retryAfter string
+	body       []byte
+}
+
+func (r *rawResponse) Error() string { return fmt.Sprintf("backend HTTP %d", r.status) }
+
+func (r *rawResponse) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.retryAfter != "" {
+		w.Header().Set("Retry-After", r.retryAfter)
+	}
+	w.WriteHeader(r.status)
+	_, _ = w.Write(r.body)
+}
+
+// submit routes POST /v1/jobs by the spec's content cache key.
+func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	var spec api.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, api.CodeBadRequest, "bad spec: %v", err)
+		return
+	}
+	key, err := service.SpecKey(spec)
+	if err != nil {
+		writeErr(w, api.CodeInvalidSpec, "%v", err)
+		return
+	}
+	// A transport-dead target is retired and the next-highest backend takes
+	// the key; application errors (saturation, quota) relay verbatim — the
+	// owning backend said no, and bouncing the job elsewhere would shatter
+	// cache affinity.
+	for attempt := 0; attempt < len(rt.names)+1; attempt++ {
+		alive := rt.aliveNames()
+		if len(alive) == 0 {
+			writeErr(w, api.CodeUnavailable, "no live backend")
+			return
+		}
+		target := rendezvous(key, alive)
+		v, status, err := rt.postSpec(r.Context(), target, spec)
+		if err != nil {
+			var raw *rawResponse
+			if asRaw(err, &raw) {
+				raw.write(w)
+				return
+			}
+			continue // transport failure: target was marked, re-pick
+		}
+		rt.recordRoute(v.ID, &jobRoute{backend: target, backendID: v.ID, spec: spec, state: v.State})
+		writeJSON(w, status, v)
+		return
+	}
+	writeErr(w, api.CodeUnavailable, "no backend accepted the job")
+}
+
+func asRaw(err error, out **rawResponse) bool {
+	r, ok := err.(*rawResponse)
+	if ok {
+		*out = r
+	}
+	return ok
+}
+
+// resolve finds the route for a public job ID, probing live backends for
+// jobs the router has never seen (submitted before a router restart, or
+// directly to a backend). Probes run concurrently with their own short
+// deadline so one hung backend cannot stall every unknown-ID lookup for
+// the full client timeout, and a probe cancelled because a sibling already
+// found the job never counts against anyone's health.
+// It returns a value snapshot: the live record is mutated under rt.mu by
+// failover and state refreshes, so handlers must not hold a pointer into it.
+func (rt *Router) resolve(ctx context.Context, id string) (jobRoute, bool) {
+	rt.mu.Lock()
+	route, ok := rt.jobs[id]
+	var snap jobRoute
+	if ok {
+		snap = *route
+	}
+	rt.mu.Unlock()
+	if ok {
+		return snap, true
+	}
+	alive := rt.aliveNames()
+	if len(alive) == 0 {
+		return jobRoute{}, false
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	type hit struct {
+		name string
+		view api.View
+	}
+	results := make(chan *hit, len(alive))
+	for _, name := range alive {
+		go func(name string) {
+			rt.mu.Lock()
+			b := rt.backends[name]
+			rt.mu.Unlock()
+			req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, b.URL+"/v1/jobs/"+id, nil)
+			if err != nil {
+				results <- nil
+				return
+			}
+			resp, err := rt.opt.Client.Do(req)
+			if err != nil {
+				rt.markFailure(probeCtx, name)
+				results <- nil
+				return
+			}
+			var v api.View
+			decodeErr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && decodeErr == nil && v.ID == id {
+				results <- &hit{name: name, view: v}
+				return
+			}
+			results <- nil
+		}(name)
+	}
+	for range alive {
+		if h := <-results; h != nil {
+			route := jobRoute{backend: h.name, backendID: id, spec: h.view.Spec, state: h.view.State}
+			rt.recordRoute(id, &route)
+			return route, true
+		}
+	}
+	return jobRoute{}, false
+}
+
+// routeTarget returns the live backend for a route, or an error code.
+func (rt *Router) routeTarget(route jobRoute) (*backendState, string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.backends[route.backend]
+	if b == nil || !b.alive {
+		return nil, api.CodeUnavailable
+	}
+	return b, ""
+}
+
+// get proxies GET /v1/jobs/{id}, rewriting the backend's job ID back to the
+// public one for failed-over jobs and tracking the observed state (the
+// failover predicate: only jobs never seen past queued are rerouted).
+func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	route, ok := rt.resolve(r.Context(), id)
+	if !ok {
+		writeErr(w, api.CodeNotFound, "no such job %q in the fleet", id)
+		return
+	}
+	b, errCode := rt.routeTarget(route)
+	if errCode != "" {
+		writeErr(w, errCode, "backend %s for job %s is down", route.backend, id)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/jobs/"+route.backendID, nil)
+	if err != nil {
+		writeErr(w, api.CodeInternal, "%v", err)
+		return
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		rt.markFailure(r.Context(), route.backend)
+		writeErr(w, api.CodeUnavailable, "backend %s: %v", route.backend, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		(&rawResponse{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: body}).write(w)
+		return
+	}
+	var v api.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		writeErr(w, api.CodeInternal, "backend %s sent a bad view: %v", route.backend, err)
+		return
+	}
+	rt.mu.Lock()
+	if cur, ok := rt.jobs[id]; ok && cur.backendID == v.ID { // still the same underlying job
+		cur.state = v.State
+	}
+	rt.mu.Unlock()
+	v.ID = id // public identity survives failover
+	writeJSON(w, http.StatusOK, v)
+}
+
+// remove proxies DELETE /v1/jobs/{id} and forgets the route once the
+// record is gone (204).
+func (rt *Router) remove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	route, ok := rt.resolve(r.Context(), id)
+	if !ok {
+		writeErr(w, api.CodeNotFound, "no such job %q in the fleet", id)
+		return
+	}
+	b, errCode := rt.routeTarget(route)
+	if errCode != "" {
+		writeErr(w, errCode, "backend %s for job %s is down", route.backend, id)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, b.URL+"/v1/jobs/"+route.backendID, nil)
+	if err != nil {
+		writeErr(w, api.CodeInternal, "%v", err)
+		return
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		rt.markFailure(r.Context(), route.backend)
+		writeErr(w, api.CodeUnavailable, "backend %s: %v", route.backend, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		rt.mu.Lock()
+		delete(rt.jobs, id)
+		rt.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// proxyStream hands the streaming endpoints (events, stream, slice) to the
+// backend's reverse proxy, which flushes every write — SSE frames and
+// multipart slice parts reach the client the moment the backend emits
+// them, and Last-Event-ID resume headers pass through untouched.
+func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, sub string) {
+	id := r.PathValue("id")
+	route, ok := rt.resolve(r.Context(), id)
+	if !ok {
+		writeErr(w, api.CodeNotFound, "no such job %q in the fleet", id)
+		return
+	}
+	b, errCode := rt.routeTarget(route)
+	if errCode != "" {
+		writeErr(w, errCode, "backend %s for job %s is down", route.backend, id)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/v1/jobs/" + route.backendID + sub
+	b.proxy.ServeHTTP(w, r2)
+	// Event and slice streams usually end because the job reached a
+	// terminal event. A client that only ever watched/streamed (the SDK's
+	// headline flow) would otherwise leave the route stuck at "queued" and
+	// the failover predicate would re-run its finished job after a backend
+	// death — refresh the observed state now that the stream closed.
+	if sub == "/events" || sub == "/stream" {
+		go rt.refreshState(id)
+	}
+}
+
+// refreshState re-reads a job's state from its backend and folds it into
+// the route table (the failover predicate).
+func (rt *Router) refreshState(id string) {
+	rt.mu.Lock()
+	route, ok := rt.jobs[id]
+	var backendID, baseURL string
+	alive := false
+	if ok {
+		backendID = route.backendID
+		if b := rt.backends[route.backend]; b != nil && b.alive {
+			alive, baseURL = true, b.URL
+		}
+	}
+	rt.mu.Unlock()
+	if !ok || !alive {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+backendID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var v api.View
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&v) != nil {
+		return
+	}
+	rt.mu.Lock()
+	if cur, ok := rt.jobs[id]; ok && cur.backendID == v.ID {
+		cur.state = v.State
+	}
+	rt.mu.Unlock()
+}
+
+// list fans GET /v1/jobs out to all live backends and merges the views in
+// submission-time order.
+func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		views []api.View
+		err   error
+	}
+	alive := rt.aliveNames()
+	results := make(chan result, len(alive))
+	for _, name := range alive {
+		go func(name string) {
+			rt.mu.Lock()
+			b := rt.backends[name]
+			rt.mu.Unlock()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/jobs", nil)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			resp, err := rt.opt.Client.Do(req)
+			if err != nil {
+				rt.markFailure(r.Context(), name)
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var vs []api.View
+			if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{views: vs}
+		}(name)
+	}
+	var merged []api.View
+	for range alive {
+		res := <-results
+		if res.err == nil {
+			merged = append(merged, res.views...)
+		}
+	}
+	// Failed-over jobs keep their public identity in the fleet listing
+	// (the backends know them by their reissued IDs), and every listed
+	// view refreshes the router's observed state for its route.
+	rt.mu.Lock()
+	alias := map[string]string{}
+	for id, route := range rt.jobs {
+		if route.backendID != id {
+			alias[route.backendID] = id
+		}
+	}
+	for i := range merged {
+		backendID := merged[i].ID
+		pub, aliased := alias[backendID]
+		if aliased {
+			merged[i].ID = pub
+		} else {
+			pub = backendID
+		}
+		if cur, ok := rt.jobs[pub]; ok && cur.backendID == backendID {
+			cur.state = merged[i].State
+		}
+	}
+	rt.mu.Unlock()
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Submitted != merged[j].Submitted {
+			return merged[i].Submitted < merged[j].Submitted
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if merged == nil {
+		merged = []api.View{}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// metrics fans /v1/metrics in from all live backends as one fleet
+// aggregate: counters and gauges sum, uptime is the fleet maximum,
+// cost_scale averages, and wait percentiles take the per-class worst (a
+// conservative merge — exact percentiles do not compose).
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	alive := rt.aliveNames()
+	results := make(chan *api.Metrics, len(alive))
+	for _, name := range alive {
+		go func(name string) {
+			rt.mu.Lock()
+			b := rt.backends[name]
+			rt.mu.Unlock()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/metrics", nil)
+			if err != nil {
+				results <- nil
+				return
+			}
+			resp, err := rt.opt.Client.Do(req)
+			if err != nil {
+				rt.markFailure(r.Context(), name)
+				results <- nil
+				return
+			}
+			defer resp.Body.Close()
+			var m api.Metrics
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				results <- nil
+				return
+			}
+			results <- &m
+		}(name)
+	}
+	agg := api.Metrics{Jobs: map[string]int{}, WaitSec: map[string]api.WaitStats{}}
+	n := 0
+	for range alive {
+		m := <-results
+		if m == nil {
+			continue
+		}
+		n++
+		if m.UptimeSec > agg.UptimeSec {
+			agg.UptimeSec = m.UptimeSec
+		}
+		agg.Workers += m.Workers
+		agg.BusyWorkers += m.BusyWorkers
+		agg.QueueDepth += m.QueueDepth
+		agg.QueueCap += m.QueueCap
+		agg.QueueCostSec += m.QueueCostSec
+		agg.MaxQueuedSec += m.MaxQueuedSec
+		agg.InflightBytes += m.InflightBytes
+		agg.MaxInflight += m.MaxInflight
+		agg.PoolBytes += m.PoolBytes
+		agg.CostScale += m.CostScale
+		agg.Completed += m.Completed
+		agg.CacheHits += m.CacheHits
+		agg.Failed += m.Failed
+		agg.Cancelled += m.Cancelled
+		agg.Admission.Admitted += m.Admission.Admitted
+		agg.Admission.RejectedFull += m.Admission.RejectedFull
+		agg.Admission.RejectedCost += m.Admission.RejectedCost
+		agg.Admission.RejectedBytes += m.Admission.RejectedBytes
+		agg.Admission.RejectedQuota += m.Admission.RejectedQuota
+		agg.Cache.Hits += m.Cache.Hits
+		agg.Cache.Misses += m.Cache.Misses
+		agg.Cache.Entries += m.Cache.Entries
+		agg.Cache.Bytes += m.Cache.Bytes
+		agg.Cache.MaxBytes += m.Cache.MaxBytes
+		agg.PFSReadMB += m.PFSReadMB
+		agg.PFSWriteMB += m.PFSWriteMB
+		agg.PFSObjects += m.PFSObjects
+		for k, v := range m.Jobs {
+			agg.Jobs[k] += v
+		}
+		for class, ws := range m.WaitSec {
+			cur := agg.WaitSec[class]
+			cur.Count += ws.Count
+			if ws.P50 > cur.P50 {
+				cur.P50 = ws.P50
+			}
+			if ws.P90 > cur.P90 {
+				cur.P90 = ws.P90
+			}
+			if ws.P99 > cur.P99 {
+				cur.P99 = ws.P99
+			}
+			agg.WaitSec[class] = cur
+		}
+	}
+	if n > 0 {
+		agg.CostScale /= float64(n)
+	}
+	if agg.UptimeSec > 0 {
+		agg.JobsPerSec = float64(agg.Completed) / agg.UptimeSec
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// backendsHandler reports per-backend health and route counts.
+func (rt *Router) backendsHandler(w http.ResponseWriter, _ *http.Request) {
+	rt.mu.Lock()
+	counts := map[string]int{}
+	for _, route := range rt.jobs {
+		counts[route.backend]++
+	}
+	out := make([]api.BackendHealth, 0, len(rt.names))
+	for _, name := range rt.names {
+		b := rt.backends[name]
+		out = append(out, api.BackendHealth{Name: name, URL: b.URL, Alive: b.alive, Jobs: counts[name]})
+	}
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,507 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/service"
+	"ifdk/pkg/api"
+	"ifdk/pkg/client"
+)
+
+// fleet is a router over n real ifdkd backends (full service.Manager +
+// HTTP server each), the e2e fixture of the multi-node story.
+type fleet struct {
+	router   *Router
+	routerTS *httptest.Server
+	backends []*httptest.Server
+	managers []*service.Manager
+	names    []string
+}
+
+func startFleet(t *testing.T, n int, optFor func(i int) service.Options) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var rbs []Backend
+	for i := 0; i < n; i++ {
+		opt := service.Options{Workers: 2}
+		if optFor != nil {
+			opt = optFor(i)
+		}
+		opt.NodeID = fmt.Sprintf("b%d", i)
+		m := service.NewManager(opt)
+		ts := httptest.NewServer(service.NewServer(m))
+		f.managers = append(f.managers, m)
+		f.backends = append(f.backends, ts)
+		f.names = append(f.names, opt.NodeID)
+		rbs = append(rbs, Backend{Name: opt.NodeID, URL: ts.URL})
+	}
+	rt, err := New(Options{Backends: rbs, HealthEvery: 25 * time.Millisecond, DeadAfter: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	f.routerTS = httptest.NewServer(rt)
+	t.Cleanup(func() {
+		f.routerTS.Close()
+		rt.Close()
+		for i, ts := range f.backends {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := f.managers[i].Shutdown(ctx); err != nil {
+				t.Errorf("backend %d shutdown: %v", i, err)
+			}
+			cancel()
+		}
+	})
+	return f
+}
+
+// backendOf maps a fleet job ID back to the node that minted it — the
+// NodeID prefix is the attribution.
+func backendOf(t *testing.T, id string) string {
+	t.Helper()
+	node, _, ok := strings.Cut(id, "-")
+	if !ok {
+		t.Fatalf("job id %q has no node prefix", id)
+	}
+	return node
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// Rendezvous hashing itself: deterministic, total over candidates, and
+// removing one backend moves only that backend's keys.
+func TestRendezvousStability(t *testing.T) {
+	names := []string{"b0", "b1", "b2"}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	first := map[string]string{}
+	hit := map[string]int{}
+	for _, k := range keys {
+		first[k] = rendezvous(k, names)
+		hit[first[k]]++
+		if got := rendezvous(k, names); got != first[k] {
+			t.Fatalf("rendezvous(%q) not deterministic: %s vs %s", k, got, first[k])
+		}
+	}
+	if len(hit) != 3 {
+		t.Fatalf("64 keys landed on %d backends, want all 3 used: %v", len(hit), hit)
+	}
+	// Kill b1: its keys move, everyone else's stay.
+	survivors := []string{"b0", "b2"}
+	for _, k := range keys {
+		got := rendezvous(k, survivors)
+		if first[k] != "b1" && got != first[k] {
+			t.Fatalf("key %q moved from %s to %s though its backend survived", k, first[k], got)
+		}
+		if first[k] == "b1" && got == "b1" {
+			t.Fatal("dead backend still chosen")
+		}
+	}
+}
+
+// Jobs with distinct cache keys land on distinct backends deterministically,
+// and resubmitting an identical spec returns to the same backend — as a
+// cache hit, proving placement affinity keeps the fleet cache hot.
+func TestRoutingDeterministicSpread(t *testing.T) {
+	f := startFleet(t, 3, nil)
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+
+	specs := make([]api.Spec, 8)
+	for i := range specs {
+		specs[i] = api.Spec{Phantom: []string{"sphere", "shepplogan", "industrial"}[i%3],
+			NX: 16, NP: 32 + 32*i}
+	}
+	placed := map[int]string{}
+	used := map[string]bool{}
+	for i, s := range specs {
+		v, err := c.Submit(ctx, s)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		placed[i] = backendOf(t, v.ID)
+		used[placed[i]] = true
+		if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("8 distinct keys all landed on %v; rendezvous spread broken", used)
+	}
+	// Same specs again: same backends, served from their result caches.
+	for i, s := range specs {
+		v, err := c.Submit(ctx, s)
+		if err != nil {
+			t.Fatalf("resubmit %d: %v", i, err)
+		}
+		if got := backendOf(t, v.ID); got != placed[i] {
+			t.Fatalf("spec %d moved from %s to %s on resubmission", i, placed[i], got)
+		}
+		if !v.CacheHit {
+			t.Errorf("resubmitted spec %d missed the cache on its own backend", i)
+		}
+	}
+	// The fleet list through the router sees every job exactly once.
+	vs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, v := range vs {
+		seen[v.ID]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("fleet list has %d distinct jobs, want 16", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s listed %d times", id, n)
+		}
+	}
+}
+
+// A mid-run SSE + multipart stream consumer through the router must match a
+// direct-backend consumer bit-exactly, with live (unbuffered) delivery and
+// exactly-once slices.
+func TestStreamThroughRouterBitExact(t *testing.T) {
+	// Throttled reads stretch the run so the consumers provably attach
+	// mid-run (the stream begins before the job settles).
+	f := startFleet(t, 2, func(int) service.Options {
+		return service.Options{Workers: 2, PFS: pfs.Config{ReadBW: 2e6, Targets: 1, Throttle: true}}
+	})
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "shepplogan", NX: 16, NP: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := backendOf(t, v.ID)
+
+	// SSE watcher through the router, concurrent with the stream consumer.
+	type watchOut struct {
+		rounds, slices int
+		state          api.State
+		err            error
+	}
+	wc := make(chan watchOut, 1)
+	go func() {
+		var out watchOut
+		out.state, out.err = c.Watch(ctx, v.ID, func(e api.Event) error {
+			switch e.Type {
+			case api.EventRound:
+				out.rounds++
+			case api.EventSlice:
+				out.slices++
+			}
+			return nil
+		})
+		wc <- out
+	}()
+
+	var sawRunningMidStream bool
+	res, err := c.Stream(ctx, v.ID, func(z, total int) {
+		if !sawRunningMidStream {
+			if view, err := c.Get(ctx, v.ID); err == nil && view.State == api.StateRunning {
+				sawRunningMidStream = true
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("stream through router: %v", err)
+	}
+	w := <-wc
+	if w.err != nil {
+		t.Fatalf("watch through router: %v", w.err)
+	}
+	if w.state != api.StateDone || res.Final.State != api.StateDone {
+		t.Fatalf("terminal states: watch %s, stream %s", w.state, res.Final.State)
+	}
+	if w.slices != 16 || res.Slices != 16 {
+		t.Fatalf("SSE delivered %d slice events, stream %d parts; want 16 each", w.slices, res.Slices)
+	}
+	if w.rounds < 1 {
+		t.Error("no round progress events crossed the router")
+	}
+	if !sawRunningMidStream {
+		t.Log("note: job settled before a mid-stream running state was observed (timing)")
+	}
+
+	// The same stream taken directly from the owning backend must be
+	// bit-identical.
+	var directURL string
+	for i, name := range f.names {
+		if name == owner {
+			directURL = f.backends[i].URL
+		}
+	}
+	direct, err := client.New(directURL).Stream(ctx, v.ID, nil)
+	if err != nil {
+		t.Fatalf("direct stream: %v", err)
+	}
+	if len(direct.Volume.Data) != len(res.Volume.Data) {
+		t.Fatalf("volume sizes differ: %d vs %d", len(direct.Volume.Data), len(res.Volume.Data))
+	}
+	for i := range direct.Volume.Data {
+		if direct.Volume.Data[i] != res.Volume.Data[i] {
+			t.Fatalf("routed stream differs from direct stream at voxel %d", i)
+		}
+	}
+
+	// /slice/{z} proxies too (PNG of a written slice).
+	resp, err := http.Get(f.routerTS.URL + "/v1/jobs/" + v.ID + "/slice/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "image/png" {
+		t.Fatalf("slice through router: HTTP %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	// SSE resume through the router: a watcher reattaching with
+	// Last-Event-ID must replay only the tail.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, f.routerTS.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "3")
+	eresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	first, ok := firstSSEEvent(t, eresp.Body)
+	if !ok {
+		t.Fatal("resumed SSE through router delivered nothing")
+	}
+	if first.Seq <= 3 {
+		t.Fatalf("resume replayed seq %d <= Last-Event-ID 3", first.Seq)
+	}
+}
+
+// firstSSEEvent decodes the first data frame of an SSE body.
+func firstSSEEvent(t *testing.T, body io.Reader) (api.Event, bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE payload: %v", err)
+		}
+		return e, true
+	}
+	return api.Event{}, false
+}
+
+// The route table is bounded: terminal routes are pruned oldest-first once
+// MaxRoutes is exceeded, and pruned jobs remain reachable through the
+// backend probe.
+func TestRouteTableBounded(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	f.router.opt.MaxRoutes = 4 // shrink the bound before any submissions
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32 + 32*i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.router.mu.Lock()
+	routes := len(f.router.jobs)
+	f.router.mu.Unlock()
+	if routes > 4 {
+		t.Fatalf("route table holds %d routes, want <= 4", routes)
+	}
+	// A pruned job is still reachable: resolve probes the backends.
+	v, err := c.Get(ctx, ids[0])
+	if err != nil || v.ID != ids[0] || v.State != api.StateDone {
+		t.Fatalf("pruned job via probe: %+v, %v", v, err)
+	}
+}
+
+// Fleet metrics aggregate across backends.
+func TestMetricsFanIn(t *testing.T) {
+	f := startFleet(t, 3, func(int) service.Options { return service.Options{Workers: 2} })
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+	for i := 0; i < 4; i++ {
+		v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32 + 32*i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 6 {
+		t.Errorf("aggregate workers = %d, want 6 (3 backends × 2)", m.Workers)
+	}
+	if m.Completed != 4 {
+		t.Errorf("aggregate completed = %d, want 4", m.Completed)
+	}
+	if m.Jobs["done"] != 4 {
+		t.Errorf("aggregate jobs[done] = %d, want 4", m.Jobs["done"])
+	}
+
+	// Per-backend health listing.
+	resp, err := http.Get(f.routerTS.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bh []api.BackendHealth
+	err = json.NewDecoder(resp.Body).Decode(&bh)
+	resp.Body.Close()
+	if err != nil || len(bh) != 3 {
+		t.Fatalf("backends = %+v, %v", bh, err)
+	}
+	jobs := 0
+	for _, b := range bh {
+		if !b.Alive {
+			t.Errorf("backend %s reported dead", b.Name)
+		}
+		jobs += b.Jobs
+	}
+	if jobs != 4 {
+		t.Errorf("routed job count = %d, want 4", jobs)
+	}
+}
+
+// Killing a backend reroutes the jobs the router last saw queued on it to a
+// surviving backend, preserving their public IDs; a job observed running is
+// deliberately NOT rerouted (its partial state died with the node) and
+// surfaces the retryable unavailable code instead.
+func TestFailoverPendingJobsOnBackendDeath(t *testing.T) {
+	// One worker per backend and slow reads: the first job per backend
+	// runs for seconds, everything behind it stays queued.
+	f := startFleet(t, 3, func(int) service.Options {
+		return service.Options{Workers: 1, CacheBytes: -1,
+			PFS: pfs.Config{ReadBW: 1e6, Targets: 1, Throttle: true}}
+	})
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+
+	// Submit distinct specs until some backend owns at least two jobs
+	// (first = running, rest = queued behind the single worker).
+	owners := map[string][]string{} // backend → job IDs in submit order
+	var victim string
+	for i := 0; i < 24 && victim == ""; i++ {
+		v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 64 + 32*i})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		b := backendOf(t, v.ID)
+		owners[b] = append(owners[b], v.ID)
+		if len(owners[b]) >= 3 {
+			victim = b
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no backend accumulated 3 jobs: %v", owners)
+	}
+	runningID, queuedIDs := owners[victim][0], owners[victim][1:]
+
+	// Observe the first job running through the router (recording its state
+	// — the predicate that exempts it from failover). It may still be
+	// staging; poll briefly.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		view, err := c.Get(ctx, runningID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State == api.StateRunning {
+			break
+		}
+		if view.State.Terminal() {
+			t.Skipf("blocker finished before the kill (%s); environment too fast for this scenario", view.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker stuck %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the victim backend: hard server close, manager torn down.
+	var victimIdx int
+	for i, name := range f.names {
+		if name == victim {
+			victimIdx = i
+		}
+	}
+	f.backends[victimIdx].CloseClientConnections()
+	f.backends[victimIdx].Close()
+
+	// The router's health loop must mark it dead and reroute the queued
+	// jobs; their public IDs keep working through the router and complete
+	// on a surviving backend.
+	for _, id := range queuedIDs {
+		final, err := c.Await(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("rerouted job %s: %v", id, err)
+		}
+		if final.State != api.StateDone {
+			t.Fatalf("rerouted job %s ended %s: %s", id, final.State, final.Error)
+		}
+		if final.ID != id {
+			t.Fatalf("public ID changed across failover: %s -> %s", id, final.ID)
+		}
+	}
+	if got := f.router.Reroutes(); got < int64(len(queuedIDs)) {
+		t.Errorf("router rerouted %d jobs, want >= %d", got, len(queuedIDs))
+	}
+
+	// The running job died with its node: unavailable (retryable), not a
+	// silent success and not a 404.
+	_, err := c.Get(ctx, runningID)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("running job on dead backend: %v, want unavailable", err)
+	}
+
+	// The dead backend is reported in the health listing.
+	resp, err := http.Get(f.routerTS.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bh []api.BackendHealth
+	err = json.NewDecoder(resp.Body).Decode(&bh)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bh {
+		if b.Name == victim && b.Alive {
+			t.Errorf("victim %s still reported alive", victim)
+		}
+	}
+}

@@ -12,11 +12,11 @@ import (
 // estOf evaluates the submit-time cost model exactly as Submit does.
 func estOf(t *testing.T, s Spec) perfmodel.Cost {
 	t.Helper()
-	_, cfg, err := s.compile()
+	_, cfg, err := compileSpec(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.InputPrefix = datasetPrefix(s.withDefaults(), cfg)
+	cfg.InputPrefix = datasetPrefix(specWithDefaults(s), cfg)
 	cfg.AssembleVolume = true
 	est, err := perfmodel.Estimate(cfg)
 	if err != nil {

@@ -131,15 +131,6 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.bytes -= it.size
 }
 
-// CacheStats is a counters snapshot.
-type CacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Entries  int   `json:"entries"`
-	Bytes    int64 `json:"bytes"`
-	MaxBytes int64 `json:"max_bytes"`
-}
-
 // Stats returns a snapshot of the hit/miss counters and occupancy. A
 // disabled cache (negative budget) reports MaxBytes 0 so consumers never
 // see the sentinel as a size.

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"ifdk/internal/compress"
 	"ifdk/internal/ct/fdk"
 	"ifdk/internal/ct/projector"
 	"ifdk/internal/volume"
@@ -118,6 +119,14 @@ func openStream(t *testing.T, ctx context.Context, url string) (<-chan slicePart
 			blob, err := io.ReadAll(p)
 			if err != nil {
 				return
+			}
+			// Go's transport advertises Accept-Encoding: gzip on our
+			// behalf, so the server is entitled to gzip each part; a
+			// contract-compliant consumer decodes per-part Content-Encoding.
+			if p.Header.Get("Content-Encoding") == "gzip" {
+				if blob, err = compress.Gunzip(blob); err != nil {
+					continue
+				}
 			}
 			img, err := volume.ImageFromBytes(blob)
 			if err != nil {
@@ -248,7 +257,7 @@ func TestE2EStreamingGolden(t *testing.T) {
 	}
 	// …and matches a direct serial reconstruction of the same scan
 	// voxel-for-voxel within 1e-5.
-	ph, cfg, err := spec.compile()
+	ph, cfg, err := compileSpec(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,11 @@
 // Package service is the reconstruction serving layer on top of the iFDK
 // core: a job manager with a bounded priority queue, a worker pool running
 // up to K concurrent distributed reconstructions, a content-addressed result
-// cache, and an HTTP API. It turns the paper's one-shot pipeline (Fig. 2–4)
-// into a long-lived system with submit/status/cancel semantics, backpressure
-// and instant replies for repeated requests — the serving-side counterpart
-// of the paper's "instant" reconstruction claim.
+// cache, and an HTTP API speaking the versioned pkg/api contract. It turns
+// the paper's one-shot pipeline (Fig. 2–4) into a long-lived system with
+// submit/status/cancel semantics, backpressure and instant replies for
+// repeated requests — the serving-side counterpart of the paper's "instant"
+// reconstruction claim.
 package service
 
 import (
@@ -57,39 +58,10 @@ func (p Priority) String() string {
 	}
 }
 
-// State is a job's lifecycle phase.
-type State string
-
-const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
-)
-
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
-
-// Spec is a reconstruction request as it arrives over the wire: a synthetic
-// cone-beam scan of a named phantom plus the grid to reconstruct it on.
-type Spec struct {
-	Phantom  string `json:"phantom"`  // shepplogan | sphere | industrial
-	NX       int    `json:"nx"`       // output voxels per side
-	NU       int    `json:"nu"`       // detector pixels per side (0 → 2·nx)
-	NP       int    `json:"np"`       // projections (0 → 2·nx)
-	R        int    `json:"r"`        // grid rows (0 → 2)
-	C        int    `json:"c"`        // grid columns (0 → 2)
-	Window   string `json:"window"`   // ramp window name ("" → ram-lak)
-	Priority string `json:"priority"` // low | normal | high ("" → normal)
-	Verify   bool   `json:"verify"`   // compare against the serial FDK reference
-	Client   string `json:"client"`   // client id for per-client quotas ("" → "anonymous")
-}
-
-// withDefaults fills the zero fields exactly as cmd/ifdk does.
-func (s Spec) withDefaults() Spec {
+// specWithDefaults fills the zero fields exactly as cmd/ifdk does. (A free
+// function, not a method: Spec is an alias of the public api.Spec, and the
+// defaulting policy is server business, not contract.)
+func specWithDefaults(s Spec) Spec {
 	if s.Phantom == "" {
 		s.Phantom = "shepplogan"
 	}
@@ -127,11 +99,11 @@ const (
 	maxRanks = 64
 )
 
-// compile resolves a Spec into the pieces the worker needs: the phantom,
+// compileSpec resolves a Spec into the pieces the worker needs: the phantom,
 // the geometry, and a core.Config without I/O prefixes (the manager fills
 // those per job).
-func (s Spec) compile() (phantom.Phantom, core.Config, error) {
-	s = s.withDefaults()
+func compileSpec(s Spec) (phantom.Phantom, core.Config, error) {
+	s = specWithDefaults(s)
 	if s.NX > maxNX || s.NU > maxNU || s.NP > maxNP {
 		return phantom.Phantom{}, core.Config{}, fmt.Errorf(
 			"service: problem size nx=%d nu=%d np=%d exceeds limits (%d, %d, %d)",
@@ -160,6 +132,23 @@ func (s Spec) compile() (phantom.Phantom, core.Config, error) {
 		return phantom.Phantom{}, core.Config{}, err
 	}
 	return ph, cfg, nil
+}
+
+// SpecKey returns the content cache key a Manager would derive for spec —
+// "which volume from which data". It is the sharding key a front router
+// hashes across backends: two submissions that would be cache-identical on
+// one node must land on the same node, or the fleet-wide hit rate collapses
+// to 1/N. The error mirrors Submit's validation, so a router can reject
+// unroutable specs before touching any backend.
+func SpecKey(spec Spec) (string, error) {
+	_, cfg, err := compileSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	spec = specWithDefaults(spec)
+	cfg.InputPrefix = datasetPrefix(spec, cfg)
+	cfg.AssembleVolume = true
+	return CacheKey(cfg), nil
 }
 
 func pickPhantom(name string, g geometry.Params) (phantom.Phantom, error) {
@@ -221,40 +210,6 @@ type Job struct {
 	estBytes    int64
 	charged     bool // held admission budget (byte accounting) until settled
 	settled     bool // guarded by mu; true once the admission charge is released
-}
-
-// View is the JSON representation of a job returned by the API.
-type View struct {
-	ID        string  `json:"id"`
-	State     State   `json:"state"`
-	Spec      Spec    `json:"spec"`
-	Priority  string  `json:"priority"`
-	Progress  float64 `json:"progress"` // 0..1
-	CacheHit  bool    `json:"cache_hit"`
-	Error     string  `json:"error,omitempty"`
-	RelRMSE   float64 `json:"rel_rmse,omitempty"`
-	Verified  bool    `json:"verified,omitempty"`
-	Submitted string  `json:"submitted"`
-	Started   string  `json:"started,omitempty"`
-	Finished  string  `json:"finished,omitempty"`
-	WaitSec   float64 `json:"wait_sec"`
-	RunSec    float64 `json:"run_sec,omitempty"`
-	EstRunSec float64 `json:"est_run_sec"` // raw Sec. 4.2 model runtime (model seconds, machine-independent)
-	Cost      float64 `json:"cost"`        // calibrated seconds charged against the queued-work budget
-	EstBytes  int64   `json:"est_bytes"`   // working set charged against the byte budget
-	Stages    Stages  `json:"stages,omitempty"`
-}
-
-// Stages is the wire form of core.StageTimes (seconds, max over ranks).
-type Stages struct {
-	Load        float64 `json:"load"`
-	Filter      float64 `json:"filter"`
-	AllGather   float64 `json:"allgather"`
-	Backproject float64 `json:"backproject"`
-	Compute     float64 `json:"compute"`
-	Reduce      float64 `json:"reduce"`
-	Store       float64 `json:"store"`
-	Total       float64 `json:"total"`
 }
 
 func stagesOf(t core.StageTimes) Stages {

@@ -42,6 +42,12 @@ type Options struct {
 	MaxJobs    int        // retained job records; oldest terminal ones are pruned (default 1024)
 	PFS        pfs.Config // simulated storage backing all jobs (zero = defaults)
 
+	// NodeID, when set, prefixes every job ID ("b2-j00000001" instead of
+	// "j00000001"), making IDs globally unique across a fleet of ifdkd
+	// instances behind a front router — the router attributes any job ID to
+	// its backend without a shared sequencer.
+	NodeID string
+
 	// Cost-aware admission. Each job's runtime and working set are
 	// estimated at submit time from the paper's performance model
 	// (perfmodel.Estimate) and calibrated against observed runtimes.
@@ -326,11 +332,11 @@ func (m *Manager) settle(j *Job) {
 // / ErrCostBudget / ErrWorkingSet — callers should retry with backoff) and
 // against the client's rate quota (ErrQuota).
 func (m *Manager) Submit(spec Spec) (View, error) {
-	ph, cfg, err := spec.compile()
+	ph, cfg, err := compileSpec(spec)
 	if err != nil {
 		return View{}, err
 	}
-	spec = spec.withDefaults()
+	spec = specWithDefaults(spec)
 	prio, err := ParsePriority(spec.Priority)
 	if err != nil {
 		return View{}, err
@@ -353,8 +359,12 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		return View{}, ErrClosed
 	}
 	m.seq++
+	id := fmt.Sprintf("j%08d", m.seq)
+	if m.opt.NodeID != "" {
+		id = m.opt.NodeID + "-" + id
+	}
 	j := &Job{
-		ID:          fmt.Sprintf("j%08d", m.seq),
+		ID:          id,
 		Spec:        spec,
 		Priority:    prio,
 		state:       StateQueued,
@@ -775,49 +785,8 @@ func (m *Manager) verifyAgainstSerial(ctx context.Context, j *Job, e *Entry) err
 	return nil
 }
 
-// AdmissionStats counts admission decisions since startup.
-type AdmissionStats struct {
-	Admitted      int64 `json:"admitted"`       // jobs that entered the queue
-	RejectedFull  int64 `json:"rejected_full"`  // queue at job-count capacity
-	RejectedCost  int64 `json:"rejected_cost"`  // queued-work seconds budget
-	RejectedBytes int64 `json:"rejected_bytes"` // in-flight working-set budget
-	RejectedQuota int64 `json:"rejected_quota"` // per-client rate quota
-}
-
-// WaitStats summarizes recent queue waits for one priority class.
-type WaitStats struct {
-	Count int64   `json:"count"`
-	P50   float64 `json:"p50_sec"`
-	P90   float64 `json:"p90_sec"`
-	P99   float64 `json:"p99_sec"`
-}
-
-// Metrics is the service-level counters snapshot served by /v1/metrics.
-type Metrics struct {
-	UptimeSec     float64              `json:"uptime_sec"`
-	Workers       int                  `json:"workers"`
-	BusyWorkers   int                  `json:"busy_workers"`
-	QueueDepth    int                  `json:"queue_depth"`
-	QueueCap      int                  `json:"queue_cap"`
-	QueueCostSec  float64              `json:"queue_cost_sec"`           // estimated seconds of queued work
-	MaxQueuedSec  float64              `json:"max_queued_sec,omitempty"` // cost budget (0 = unlimited)
-	InflightBytes int64                `json:"inflight_est_bytes"`       // estimated working set of admitted jobs
-	MaxInflight   int64                `json:"max_inflight_bytes,omitempty"`
-	PoolBytes     int64                `json:"pool_in_use_bytes"` // measured: engine buffer pools
-	CostScale     float64              `json:"cost_scale"`        // learned wall-sec per model-sec
-	Jobs          map[string]int       `json:"jobs"`
-	Completed     int64                `json:"completed"` // real reconstructions only
-	CacheHits     int64                `json:"cache_hits"`
-	Failed        int64                `json:"failed"`
-	Cancelled     int64                `json:"cancelled"`
-	JobsPerSec    float64              `json:"jobs_per_sec"` // real reconstructions per second
-	Admission     AdmissionStats       `json:"admission"`
-	WaitSec       map[string]WaitStats `json:"wait_sec"` // per-priority-class queue waits
-	Cache         CacheStats           `json:"cache"`
-	PFSReadMB     float64              `json:"pfs_read_mb"`
-	PFSWriteMB    float64              `json:"pfs_write_mb"`
-	PFSObjects    int                  `json:"pfs_objects"`
-}
+// The Metrics, AdmissionStats and WaitStats wire types live in pkg/api (see
+// wire.go).
 
 // waitStats snapshots the per-class wait percentiles.
 func (m *Manager) waitStats() map[string]WaitStats {

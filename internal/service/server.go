@@ -3,15 +3,15 @@ package service
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
 
 	"ifdk/internal/hpc/pfs"
 	"ifdk/internal/volume"
+	"ifdk/pkg/api"
 )
 
-// Server is the HTTP front of a Manager.
+// Server is the HTTP front of a Manager, speaking API version api.Version.
 //
 //	POST   /v1/jobs               submit a Spec; 200 on cache hit, 202 when
 //	                              queued, 503 + Retry-After when saturated
@@ -23,6 +23,9 @@ import (
 //	DELETE /v1/jobs/{id}          cancel a live job, or delete a terminal one
 //	GET    /v1/metrics            queue/pool/cache/storage counters
 //	GET    /healthz               liveness
+//
+// Every non-2xx response body is the structured api.Error JSON envelope;
+// clients branch on its stable Code, not on the HTTP status or message.
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
@@ -40,7 +43,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.remove)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "node": m.opt.NodeID})
 	})
 	return s
 }
@@ -48,34 +51,44 @@ func NewServer(m *Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-type apiError struct {
-	Error string `json:"error"`
+// writeJSON and writeErr delegate to the contract package so the daemon
+// and the router emit byte-identical envelopes.
+func writeJSON(w http.ResponseWriter, code int, v any) { api.WriteJSON(w, code, v) }
+
+func writeErr(w http.ResponseWriter, code string, format string, args ...any) {
+	api.WriteError(w, code, format, args...)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// submitCode maps Submit's sentinel errors to wire codes.
+func submitCode(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return api.CodeQueueFull
+	case errors.Is(err, ErrCostBudget):
+		return api.CodeCostBudget
+	case errors.Is(err, ErrWorkingSet):
+		return api.CodeWorkingSet
+	case errors.Is(err, ErrQuota):
+		return api.CodeQuotaExhausted
+	case errors.Is(err, ErrClosed):
+		return api.CodeShuttingDown
+	default:
+		// Everything else Submit reports is spec validation: unknown
+		// phantom/window/priority, size over the hard limits, grid mismatch.
+		return api.CodeInvalidSpec
+	}
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad spec: %v", err)})
+		writeErr(w, api.CodeBadRequest, "bad spec: %v", err)
 		return
 	}
 	v, err := s.m.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrCostBudget), errors.Is(err, ErrWorkingSet):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
-	case errors.Is(err, ErrQuota):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
-	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeErr(w, submitCode(err), "%v", err)
 	case v.CacheHit:
 		writeJSON(w, http.StatusOK, v)
 	default:
@@ -90,7 +103,7 @@ func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.m.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -99,25 +112,25 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 // slice serves one axial slice as PNG as soon as it exists: from the
 // result volume once the job is done, or straight off the PFS mid-run —
 // the epilogue writes slices per row group long before the job settles.
-// A malformed or out-of-range index is the client's fault (400); a valid
-// index whose slice has not been written yet is 404, worth retrying; a
-// failed or cancelled job's slices will never arrive (409, as /stream).
+// A malformed or out-of-range index is the client's fault (bad_request); a
+// valid index whose slice has not been written yet is not_yet_written,
+// worth retrying; a failed or cancelled job's slices will never arrive
+// (terminal, as /stream).
 func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.m.job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	nz := j.cfg.Geometry.Nz
 	z, err := strconv.Atoi(r.PathValue("z"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "slice index must be an integer"})
+		writeErr(w, api.CodeBadRequest, "slice index must be an integer")
 		return
 	}
 	if z < 0 || z >= nz {
-		writeJSON(w, http.StatusBadRequest,
-			apiError{Error: fmt.Sprintf("slice %d out of range [0,%d)", z, nz)})
+		writeErr(w, api.CodeBadRequest, "slice %d out of range [0,%d)", z, nz)
 		return
 	}
 	var img *volume.Image
@@ -125,13 +138,12 @@ func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 		img = e.Volume.SliceZ(z)
 	} else if st := j.State(); st == StateFailed || st == StateCancelled {
 		// Terminal without a result: the slice will never arrive, so a
-		// retryable 404 would loop clients forever — 409, matching /stream.
-		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf(
-			"job %s is %s: slice %d will not be produced", id, st, z)})
+		// retryable not_yet_written would loop clients forever — terminal,
+		// matching /stream.
+		writeErr(w, api.CodeTerminal, "job %s is %s: slice %d will not be produced", id, st, z)
 		return
 	} else if img, _, err = s.m.store.ReadImage(pfs.SlicePath(j.outPrefix(), z)); err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf(
-			"slice %d of job %s not written yet (state %s)", z, id, j.State())})
+		writeErr(w, api.CodeNotYetWritten, "slice %d of job %s not written yet (state %s)", z, id, j.State())
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
@@ -144,13 +156,13 @@ func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 // remove cancels a live job (202) or deletes a terminal one (204). The
 // snapshot from Get is advisory only: a job can reach a terminal state
 // between Get and Cancel, so a Cancel that reports ErrAlreadyTerminal falls
-// through to delete instead of surfacing a spurious 409 — the verb is
+// through to delete instead of surfacing a spurious conflict — the verb is
 // race-free regardless of when the job settles.
 func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.m.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	if !v.State.Terminal() {
@@ -161,10 +173,10 @@ func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrAlreadyTerminal):
 			// Raced to terminal between Get and Cancel: delete below.
 		case errors.Is(err, ErrNotFound):
-			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+			writeErr(w, api.CodeNotFound, "%v", err)
 			return
 		default:
-			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+			writeErr(w, api.CodeNotTerminal, "%v", err)
 			return
 		}
 	}
@@ -172,9 +184,9 @@ func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		w.WriteHeader(http.StatusNoContent)
 	case errors.Is(err, ErrNotFound): // raced with a concurrent DELETE
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		writeErr(w, api.CodeNotFound, "%v", err)
 	default:
-		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		writeErr(w, api.CodeNotTerminal, "%v", err)
 	}
 }
 

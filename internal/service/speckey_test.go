@@ -1,0 +1,51 @@
+package service
+
+import "testing"
+
+// SpecKey is the router's sharding key; if it ever drifts from the key
+// Submit derives internally, fleet placement and per-node cache affinity
+// silently break. Pin them together.
+func TestSpecKeyMatchesSubmitKey(t *testing.T) {
+	m := NewManager(Options{Workers: 1, CacheBytes: -1})
+	defer shutdown(t, m)
+	specs := []Spec{
+		{},
+		{Phantom: "sphere", NX: 16, NP: 96},
+		{Phantom: "industrial", NX: 24, NU: 64, NP: 48, R: 2, C: 2, Window: "hann"},
+		{Phantom: "shepplogan", NX: 16, Verify: true, Priority: "high", Client: "alice"},
+	}
+	for i, s := range specs {
+		key, err := SpecKey(s)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		v, err := m.Submit(s)
+		if err != nil {
+			t.Fatalf("spec %d submit: %v", i, err)
+		}
+		j, ok := m.job(v.ID)
+		if !ok {
+			t.Fatalf("spec %d: job %s vanished", i, v.ID)
+		}
+		if j.cacheKey != key {
+			t.Errorf("spec %d: SpecKey %s != Submit's key %s", i, key, j.cacheKey)
+		}
+	}
+	// Verify/Priority/Client must NOT shard (they do not change the
+	// reconstruction), while geometry must.
+	base := Spec{Phantom: "sphere", NX: 16}
+	k0, _ := SpecKey(base)
+	same := base
+	same.Verify, same.Priority, same.Client = true, "high", "bob"
+	if k1, _ := SpecKey(same); k1 != k0 {
+		t.Error("verify/priority/client changed the sharding key")
+	}
+	diff := base
+	diff.NX = 32
+	if k2, _ := SpecKey(diff); k2 == k0 {
+		t.Error("different geometry produced the same sharding key")
+	}
+	if _, err := SpecKey(Spec{Phantom: "banana"}); err == nil {
+		t.Error("SpecKey accepted an invalid spec")
+	}
+}

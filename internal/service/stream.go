@@ -7,9 +7,12 @@ import (
 	"net/http"
 	"net/textproto"
 	"strconv"
+	"strings"
 
+	"ifdk/internal/compress"
 	"ifdk/internal/hpc/pfs"
 	"ifdk/internal/volume"
+	"ifdk/pkg/api"
 )
 
 // events serves GET /v1/jobs/{id}/events: the job's lifecycle as
@@ -22,7 +25,7 @@ import (
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.m.Get(id); !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	after := int64(0)
@@ -33,14 +36,14 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if lastID != "" {
 		n, err := strconv.ParseInt(lastID, 10, 64)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: "Last-Event-ID must be a non-negative integer"})
+			writeErr(w, api.CodeBadRequest, "Last-Event-ID must be a non-negative integer")
 			return
 		}
 		after = n
 	}
 	sub, err := s.m.subscribe(id, after)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	defer sub.Close()
@@ -75,6 +78,26 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// acceptsGzip reports whether the request advertises gzip content coding.
+// A quality value of 0 is an explicit refusal (RFC 9110 §12.4.2), so
+// "gzip;q=0" disables compression even though it names the coding.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(coding) != "gzip" && strings.TrimSpace(coding) != "*" {
+			continue
+		}
+		q := strings.ReplaceAll(strings.TrimSpace(params), " ", "")
+		if strings.HasPrefix(q, "q=") {
+			if v, err := strconv.ParseFloat(strings.TrimPrefix(q, "q="), 64); err == nil && v <= 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // stream serves GET /v1/jobs/{id}/stream: the job's output slices as a
 // chunked multipart/mixed body, each part one z-slice in the PFS image
 // format (little-endian W,H header + float32 payload), delivered as its row
@@ -82,28 +105,33 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 // the already-written slices first (from the PFS mid-run, or from the
 // cached volume once done), then follows the live epilogue. The final part
 // is the job's terminal JSON view.
+//
+// When the request advertises Accept-Encoding: gzip, each slice part is
+// DEFLATE-compressed independently (Content-Encoding: gzip on the part, not
+// the response) — filtered CT slices are smooth and compress well, and
+// independent parts keep late attach and mid-stream resume trivial.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.m.job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	// Subscribe before inspecting state so no slice event can fall between
 	// the snapshot and the live tail.
 	sub, err := s.m.subscribe(id, 0)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
 	defer sub.Close()
 
 	nz := j.cfg.Geometry.Nz
 	if st := j.State(); st == StateFailed || st == StateCancelled {
-		writeJSON(w, http.StatusConflict,
-			apiError{Error: fmt.Sprintf("job %s is %s: no slice stream", id, st)})
+		writeErr(w, api.CodeTerminal, "job %s is %s: no slice stream", id, st)
 		return
 	}
+	gzipParts := acceptsGzip(r)
 
 	mw := multipart.NewWriter(w)
 	defer mw.Close()
@@ -118,9 +146,17 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	sent := make([]bool, nz)
 	sendBlob := func(z int, blob []byte) error {
 		hdr := textproto.MIMEHeader{}
-		hdr.Set("Content-Type", "application/x-ifdk-slice")
-		hdr.Set("X-Slice-Z", strconv.Itoa(z))
-		hdr.Set("X-Slice-Total", strconv.Itoa(nz))
+		hdr.Set("Content-Type", api.ContentTypeSlice)
+		hdr.Set(api.HeaderSliceZ, strconv.Itoa(z))
+		hdr.Set(api.HeaderSliceTotal, strconv.Itoa(nz))
+		if gzipParts {
+			gz, err := compress.Gzip(blob)
+			if err != nil {
+				return err
+			}
+			hdr.Set("Content-Encoding", api.EncodingGzip)
+			blob = gz
+		}
 		part, err := mw.CreatePart(hdr)
 		if err != nil {
 			return err
@@ -164,7 +200,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		hdr := textproto.MIMEHeader{}
 		hdr.Set("Content-Type", "application/json")
 		v := j.snapshot()
-		hdr.Set("X-Stream-End", string(v.State))
+		hdr.Set(api.HeaderStreamEnd, string(v.State))
 		part, err := mw.CreatePart(hdr)
 		if err != nil {
 			return

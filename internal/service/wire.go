@@ -1,0 +1,48 @@
+package service
+
+import "ifdk/pkg/api"
+
+// The wire types are defined once, in the public pkg/api contract; the
+// aliases below exist only so the service internals (and their large test
+// surface) can keep the short names. There is deliberately no second
+// definition of any wire type in this package — the server marshals exactly
+// what pkg/api declares, and pkg/client unmarshals the same.
+type (
+	// Spec is a reconstruction request (api.Spec).
+	Spec = api.Spec
+	// View is the JSON representation of a job (api.View).
+	View = api.View
+	// Stages is the wire form of core.StageTimes (api.Stages).
+	Stages = api.Stages
+	// State is a job's lifecycle phase (api.State).
+	State = api.State
+	// Event is one entry of a job's event stream (api.Event).
+	Event = api.Event
+	// EventType labels one lifecycle event (api.EventType).
+	EventType = api.EventType
+	// Metrics is the /v1/metrics snapshot (api.Metrics).
+	Metrics = api.Metrics
+	// AdmissionStats counts admission decisions (api.AdmissionStats).
+	AdmissionStats = api.AdmissionStats
+	// WaitStats summarizes queue waits per class (api.WaitStats).
+	WaitStats = api.WaitStats
+	// CacheStats is the result cache snapshot (api.CacheStats).
+	CacheStats = api.CacheStats
+)
+
+// Re-exported constants, same story as the type aliases above.
+const (
+	StateQueued    = api.StateQueued
+	StateRunning   = api.StateRunning
+	StateDone      = api.StateDone
+	StateFailed    = api.StateFailed
+	StateCancelled = api.StateCancelled
+
+	EventQueued    = api.EventQueued
+	EventStarted   = api.EventStarted
+	EventRound     = api.EventRound
+	EventSlice     = api.EventSlice
+	EventDone      = api.EventDone
+	EventFailed    = api.EventFailed
+	EventCancelled = api.EventCancelled
+)

@@ -1,0 +1,110 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// Every code must map to a deliberate non-500 status and a deliberate
+// retryability verdict; a code falling through to 500 means someone added a
+// code without extending the contract tables.
+func TestCodeTablesAreTotal(t *testing.T) {
+	codes := []string{
+		CodeBadRequest, CodeInvalidSpec, CodeNotFound, CodeNotYetWritten,
+		CodeTerminal, CodeNotTerminal, CodeQueueFull, CodeCostBudget,
+		CodeWorkingSet, CodeQuotaExhausted, CodeShuttingDown, CodeUnavailable,
+	}
+	for _, c := range codes {
+		if got := HTTPStatus(c); got == http.StatusInternalServerError {
+			t.Errorf("code %q falls through to 500", c)
+		}
+	}
+	if got := HTTPStatus(CodeInternal); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus(internal) = %d, want 500", got)
+	}
+	if got := HTTPStatus("no_such_code"); got != http.StatusInternalServerError {
+		t.Errorf("unknown code mapped to %d, want 500", got)
+	}
+	if Retryable("no_such_code") {
+		t.Error("unknown codes must be non-retryable")
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	want := map[string]int{
+		CodeBadRequest:     http.StatusBadRequest,
+		CodeInvalidSpec:    http.StatusBadRequest,
+		CodeNotFound:       http.StatusNotFound,
+		CodeNotYetWritten:  http.StatusNotFound,
+		CodeTerminal:       http.StatusConflict,
+		CodeNotTerminal:    http.StatusConflict,
+		CodeQuotaExhausted: http.StatusTooManyRequests,
+		CodeQueueFull:      http.StatusServiceUnavailable,
+		CodeCostBudget:     http.StatusServiceUnavailable,
+		CodeWorkingSet:     http.StatusServiceUnavailable,
+		CodeShuttingDown:   http.StatusServiceUnavailable,
+		CodeUnavailable:    http.StatusServiceUnavailable,
+	}
+	for code, status := range want {
+		if got := HTTPStatus(code); got != status {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, status)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, code := range []string{CodeQueueFull, CodeCostBudget, CodeWorkingSet,
+		CodeQuotaExhausted, CodeNotYetWritten, CodeUnavailable} {
+		if !Retryable(code) {
+			t.Errorf("code %q should be retryable", code)
+		}
+	}
+	for _, code := range []string{CodeBadRequest, CodeInvalidSpec, CodeNotFound,
+		CodeTerminal, CodeNotTerminal, CodeShuttingDown, CodeInternal} {
+		if Retryable(code) {
+			t.Errorf("code %q should not be retryable", code)
+		}
+	}
+}
+
+func TestErrorAsError(t *testing.T) {
+	e := &Error{Code: CodeQuotaExhausted, Message: `client "alice" out of tokens`, RetryAfter: 1}
+	wrapped := fmt.Errorf("submit: %w", e)
+	var apiErr *Error
+	if !errors.As(wrapped, &apiErr) {
+		t.Fatal("errors.As failed to recover *api.Error from a wrapped chain")
+	}
+	if apiErr.Code != CodeQuotaExhausted || !apiErr.Retryable() {
+		t.Fatalf("recovered %+v", apiErr)
+	}
+	if e.Error() != `api: quota_exhausted: client "alice" out of tokens` {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	if (&Error{Code: CodeNotFound}).Error() != "api: not_found" {
+		t.Fatalf("bare-code Error() = %q", (&Error{Code: CodeNotFound}).Error())
+	}
+}
+
+// The envelope must round-trip through JSON with its documented field names.
+func TestErrorJSONShape(t *testing.T) {
+	blob, err := json.Marshal(&Error{Code: CodeQueueFull, Message: "full", RetryAfter: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["code"] != "queue_full" || m["message"] != "full" || m["retry_after_sec"] != 2.5 {
+		t.Fatalf("unexpected JSON shape: %s", blob)
+	}
+	blob, _ = json.Marshal(&Error{Code: CodeNotFound, Message: "gone"})
+	var m2 map[string]any
+	_ = json.Unmarshal(blob, &m2)
+	if _, present := m2["retry_after_sec"]; present {
+		t.Fatalf("zero RetryAfter must be omitted: %s", blob)
+	}
+}

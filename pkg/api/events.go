@@ -1,0 +1,42 @@
+package api
+
+// EventType labels one job lifecycle event on the wire.
+type EventType string
+
+const (
+	EventQueued    EventType = "queued"    // admitted into the queue
+	EventStarted   EventType = "started"   // a worker picked the job up
+	EventRound     EventType = "round"     // one AllGather round completed (coalesced)
+	EventSlice     EventType = "slice"     // one output z-slice landed on the PFS
+	EventDone      EventType = "done"      // terminal: reconstruction finished
+	EventFailed    EventType = "failed"    // terminal: reconstruction errored
+	EventCancelled EventType = "cancelled" // terminal: cancelled by the client or shutdown
+)
+
+// Terminal reports whether the event ends a job's stream.
+func (t EventType) Terminal() bool {
+	return t == EventDone || t == EventFailed || t == EventCancelled
+}
+
+// Event is one entry of a job's event stream, served over SSE by
+// GET /v1/jobs/{id}/events. Seq is a per-job sequence number, strictly
+// increasing across the stream, and doubles as the SSE event id for
+// Last-Event-ID resumption.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Job  string    `json:"job"`
+	Type EventType `json:"type"`
+	Time string    `json:"time"`
+
+	// round progress (Type == EventRound)
+	Done  int `json:"done,omitempty"`  // completed AllGather rounds
+	Total int `json:"total,omitempty"` // Np rounds, or Nz for slice events
+
+	// slice delivery (Type == EventSlice)
+	Z       int `json:"z"`                 // global z index of the finished slice
+	Written int `json:"written,omitempty"` // cumulative slices on the PFS
+
+	// terminal / state-carrying events
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}

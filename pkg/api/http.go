@@ -1,0 +1,28 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// WriteJSON writes v as a JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError emits the Error envelope for a code: the HTTP status comes
+// from HTTPStatus, and retryable codes carry retry_after_sec plus a
+// matching Retry-After header. Every server speaking this contract — the
+// daemon and the router — emits errors through here, so the wire shape
+// cannot drift between them.
+func WriteError(w http.ResponseWriter, code string, format string, args ...any) {
+	e := &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+	if Retryable(code) {
+		e.RetryAfter = 1
+		w.Header().Set("Retry-After", "1")
+	}
+	WriteJSON(w, HTTPStatus(code), e)
+}

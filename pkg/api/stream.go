@@ -1,0 +1,23 @@
+package api
+
+// Wire constants of the streaming surface. GET /v1/jobs/{id}/stream is a
+// chunked multipart/mixed body: one part per output z-slice in the PFS image
+// format (little-endian uint32 W, H header + float32 payload), delivered as
+// each row group's epilogue lands it — while the job is still running —
+// followed by a closing JSON part carrying the job's terminal View.
+const (
+	// ContentTypeSlice is the Content-Type of one slice part.
+	ContentTypeSlice = "application/x-ifdk-slice"
+	// HeaderSliceZ carries the part's global z index (0-based).
+	HeaderSliceZ = "X-Slice-Z"
+	// HeaderSliceTotal carries the volume's total slice count Nz.
+	HeaderSliceTotal = "X-Slice-Total"
+	// HeaderStreamEnd is set on the closing JSON part to the job's terminal
+	// State.
+	HeaderStreamEnd = "X-Stream-End"
+	// EncodingGzip is the per-part Content-Encoding applied to slice
+	// payloads when the request advertised Accept-Encoding: gzip. Parts are
+	// compressed independently so a late-attaching client still decodes
+	// from its first part.
+	EncodingGzip = "gzip"
+)

@@ -1,0 +1,391 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ifdk/internal/service"
+	"ifdk/pkg/api"
+)
+
+func newService(t *testing.T, opt service.Options) (*service.Manager, *httptest.Server) {
+	t.Helper()
+	m := service.NewManager(opt)
+	ts := httptest.NewServer(service.NewServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return m, ts
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSubmitGetListCancel(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 2})
+	c := New(ts.URL)
+	ctx := testCtx(t)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+	got, err := c.Get(ctx, v.ID)
+	if err != nil || got.ID != v.ID {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	vs, err := c.List(ctx)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("List = %d jobs, %v", len(vs), err)
+	}
+	final, err := c.Await(ctx, v.ID, 5*time.Millisecond)
+	if err != nil || final.State != api.StateDone {
+		t.Fatalf("Await = %+v, %v", final, err)
+	}
+	// Cancel of a terminal job deletes it; a second Get must report the
+	// stable not_found code.
+	if err := c.Cancel(ctx, v.ID); err != nil {
+		t.Fatalf("Cancel(done job): %v", err)
+	}
+	_, err = c.Get(ctx, v.ID)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("Get after delete: %v, want api.Error{not_found}", err)
+	}
+}
+
+func TestSubmitInvalidSpecNotRetried(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 1})
+	retries := 0
+	c := New(ts.URL, WithRetry(Retry{OnRetry: func(string, int, time.Duration) { retries++ }}))
+	_, err := c.Submit(testCtx(t), api.Spec{Phantom: "banana"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeInvalidSpec {
+		t.Fatalf("err = %v, want invalid_spec", err)
+	}
+	if retries != 0 {
+		t.Fatalf("invalid spec was retried %d times", retries)
+	}
+}
+
+// Submit must ride out transient saturation (queue_full) with backoff until
+// the worker drains the queue.
+func TestSubmitRetriesSaturation(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 1, QueueCap: 1, CacheBytes: -1})
+	var retried atomic.Int32
+	c := New(ts.URL, WithRetry(Retry{Max: 40, Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond,
+		OnRetry: func(code string, _ int, _ time.Duration) {
+			if code == api.CodeQueueFull {
+				retried.Add(1)
+			}
+		}}))
+	ctx := testCtx(t)
+	// Burst more distinct jobs than queue+workers can hold; every one must
+	// eventually land thanks to retry.
+	ids := make(chan string, 6)
+	errc := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		go func(i int) {
+			v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32 + 32*i})
+			if err != nil {
+				errc <- err
+				return
+			}
+			ids <- v.ID
+		}(i)
+	}
+	for i := 0; i < 6; i++ {
+		select {
+		case err := <-errc:
+			t.Fatalf("submit %d failed: %v", i, err)
+		case id := <-ids:
+			if _, err := c.Await(ctx, id, 5*time.Millisecond); err != nil {
+				t.Fatalf("await %s: %v", id, err)
+			}
+		}
+	}
+	if retried.Load() == 0 {
+		t.Log("note: queue drained fast enough that no 503 was observed")
+	}
+}
+
+// flakyProxy fronts a real server and hard-drops the first `drops` SSE
+// connections after their first delivered event, exercising Watch's
+// Last-Event-ID resume path.
+type flakyProxy struct {
+	upstream *url.URL
+	proxy    *httputil.ReverseProxy
+	drops    atomic.Int32
+	dropped  atomic.Int32
+}
+
+func newFlakyProxy(t *testing.T, upstream string, drops int32) *httptest.Server {
+	t.Helper()
+	u, err := url.Parse(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &flakyProxy{upstream: u, proxy: httputil.NewSingleHostReverseProxy(u)}
+	fp.proxy.FlushInterval = -1
+	fp.drops.Store(drops)
+	ts := httptest.NewServer(fp)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/events") && f.drops.Add(-1) >= 0 {
+		f.dropped.Add(1)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, f.upstream.String()+r.URL.String(), nil)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, err := br.ReadBytes('\n')
+			if len(line) > 0 {
+				_, _ = w.Write(line)
+				w.(http.Flusher).Flush()
+			}
+			if err != nil {
+				return
+			}
+			if bytes.Equal(line, []byte("\n")) {
+				// One full SSE event delivered: cut the connection dead.
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}
+	f.proxy.ServeHTTP(w, r)
+}
+
+// Watch must survive dropped SSE connections without losing or duplicating
+// events: sequence numbers strictly increase across reconnects, the
+// finished job's retained log is a subset of what the flaky watcher saw
+// (nothing lost; round events may legitimately coalesce away), and every
+// slice event arrives exactly once.
+func TestWatchReconnectsAfterDrop(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 2})
+	flaky := newFlakyProxy(t, ts.URL, 2)
+	ctx := testCtx(t)
+
+	direct := New(ts.URL)
+	v, err := direct.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(flaky.URL, WithRetry(Retry{Max: 10, Base: 5 * time.Millisecond}))
+	var seqs []int64
+	sliceSeen := map[int]int{}
+	state, err := c.Watch(ctx, v.ID, func(e api.Event) error {
+		seqs = append(seqs, e.Seq)
+		if e.Type == api.EventSlice {
+			sliceSeen[e.Z]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if state != api.StateDone {
+		t.Fatalf("terminal state = %s, want done", state)
+	}
+
+	// Seq contiguity across reconnects: strictly increasing, no duplicates.
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seq not strictly increasing at %d: %v", i, seqs)
+		}
+	}
+	// Exactly-once slice delivery (slice events are never coalesced).
+	if len(sliceSeen) != 16 {
+		t.Fatalf("saw %d distinct slice events, want 16", len(sliceSeen))
+	}
+	for z, n := range sliceSeen {
+		if n != 1 {
+			t.Fatalf("slice %d delivered %d times", z, n)
+		}
+	}
+	// Nothing lost: the terminal retained log (ground truth after
+	// coalescing) must be a subset of the flaky watcher's deliveries.
+	got := map[int64]bool{}
+	for _, s := range seqs {
+		got[s] = true
+	}
+	var refMissing []int64
+	if _, err := direct.Watch(ctx, v.ID, func(e api.Event) error {
+		if !got[e.Seq] {
+			refMissing = append(refMissing, e.Seq)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("reference watch: %v", err)
+	}
+	if len(refMissing) > 0 {
+		t.Fatalf("flaky watcher lost retained events %v", refMissing)
+	}
+}
+
+// Watch on an unknown job must fail fast with the stable code, not retry.
+func TestWatchNotFound(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 1})
+	c := New(ts.URL, WithRetry(Retry{Max: 3, Base: time.Millisecond}))
+	_, err := c.Watch(testCtx(t), "nope", nil)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+}
+
+// A late-attached Stream must reassemble the volume bit-exactly from the
+// result, with exactly-once slice accounting — plain and gzip.
+func TestStreamLateAttachBitExact(t *testing.T) {
+	m, ts := newService(t, service.Options{Workers: 2})
+	ctx := testCtx(t)
+	direct := New(ts.URL)
+	v, err := direct.Submit(ctx, api.Spec{Phantom: "shepplogan", NX: 16, NP: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Volume(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, gz := range []bool{false, true} {
+		opts := []Option{}
+		if gz {
+			opts = append(opts, WithGzip())
+		}
+		c := New(ts.URL, opts...)
+		res, err := c.Stream(ctx, v.ID, nil)
+		if err != nil {
+			t.Fatalf("gzip=%v: %v", gz, err)
+		}
+		if res.Final.State != api.StateDone || res.Slices != want.Nz {
+			t.Fatalf("gzip=%v: final=%s slices=%d", gz, res.Final.State, res.Slices)
+		}
+		if res.Volume.Nx != want.Nx || res.Volume.Ny != want.Ny || res.Volume.Nz != want.Nz {
+			t.Fatalf("gzip=%v: dims %dx%dx%d, want %dx%dx%d", gz,
+				res.Volume.Nx, res.Volume.Ny, res.Volume.Nz, want.Nx, want.Ny, want.Nz)
+		}
+		for z := 0; z < want.Nz; z++ {
+			a, b := res.Volume.SliceZ(z), want.SliceZ(z)
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("gzip=%v: slice %d differs at %d: %v != %v", gz, z, i, a.Data[i], b.Data[i])
+				}
+			}
+		}
+		if gz {
+			if res.WireBytes >= res.RawBytes {
+				t.Errorf("gzip saved nothing: wire %d >= raw %d", res.WireBytes, res.RawBytes)
+			}
+		} else if res.WireBytes != res.RawBytes {
+			t.Errorf("identity stream: wire %d != raw %d", res.WireBytes, res.RawBytes)
+		}
+	}
+}
+
+// A Stream attached immediately after submit (typically mid-run) must see
+// every slice exactly once and match the settled result bit-exactly.
+func TestStreamMidRunExactlyOnce(t *testing.T) {
+	m, ts := newService(t, service.Options{Workers: 2})
+	ctx := testCtx(t)
+	c := New(ts.URL)
+	v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 96, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	res, err := c.Stream(ctx, v.ID, func(z, total int) { order = append(order, z) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.State != api.StateDone {
+		t.Fatalf("final state %s: %s", res.Final.State, res.Final.Error)
+	}
+	if len(order) != 16 || res.Slices != 16 {
+		t.Fatalf("streamed %d slice callbacks / %d slices, want 16", len(order), res.Slices)
+	}
+	want, err := m.Volume(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < want.Nz; z++ {
+		a, b := res.Volume.SliceZ(z), want.SliceZ(z)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("slice %d differs at %d", z, i)
+			}
+		}
+	}
+}
+
+// Streaming a cancelled job must surface the terminal code.
+func TestStreamTerminalConflict(t *testing.T) {
+	m, ts := newService(t, service.Options{Workers: 1, CacheBytes: -1})
+	ctx := testCtx(t)
+	c := New(ts.URL)
+	// Occupy the single worker so the second job stays queued for certain.
+	blocker, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final, err := c.Await(ctx, v.ID, time.Millisecond); err == nil && final.State == api.StateCancelled {
+		_, err = c.Stream(ctx, v.ID, nil)
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeTerminal {
+			t.Fatalf("stream of cancelled job: %v, want terminal", err)
+		}
+	}
+	_ = m
+	if _, err := c.Await(ctx, blocker.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

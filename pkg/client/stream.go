@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+
+	"ifdk/internal/compress"
+	"ifdk/internal/volume"
+	"ifdk/pkg/api"
+)
+
+// StreamResult is the outcome of consuming one job's slice stream to its
+// terminal part.
+type StreamResult struct {
+	Volume *volume.Volume // the reassembled full volume (axial z-slices)
+	Final  api.View       // the job's terminal view from the closing part
+	Slices int            // slice parts received (== Volume.Nz on success)
+	// WireBytes counts slice payload bytes as they crossed the wire
+	// (compressed when per-part gzip was negotiated); RawBytes counts the
+	// decoded slice bytes. Their ratio is the stream's compression saving.
+	WireBytes int64
+	RawBytes  int64
+}
+
+// Stream consumes GET /v1/jobs/{id}/stream — live slices mid-run, replayed
+// slices on late attach, terminal JSON view last — and reassembles the
+// parts into a volume with exactly-once accounting: a duplicated or
+// malformed slice part fails the stream rather than silently overwriting,
+// and a terminal part arriving before every slice landed reports which
+// count was short. Per-part gzip (negotiated via WithGzip) is decoded
+// transparently. onSlice, when non-nil, runs after each slice part is
+// decoded (z is the global slice index) — the hook for time-to-first-slice
+// measurements and progressive rendering.
+func (c *Client) Stream(ctx context.Context, id string, onSlice func(z, total int)) (*StreamResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	// Explicit either way: left unset, Go's transport would advertise gzip
+	// on its own and the stream's per-part encoding would stop being the
+	// caller's choice.
+	if c.gzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		req.Header.Set("Accept-Encoding", "identity")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || params["boundary"] == "" {
+		return nil, fmt.Errorf("client: stream Content-Type %q has no boundary", resp.Header.Get("Content-Type"))
+	}
+
+	res := &StreamResult{}
+	var seen []bool
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err != nil {
+			return nil, fmt.Errorf("client: stream for %s ended without a terminal part: %w", id, err)
+		}
+		if part.Header.Get("Content-Type") == "application/json" {
+			if err := json.NewDecoder(part).Decode(&res.Final); err != nil {
+				return nil, fmt.Errorf("client: bad terminal part: %w", err)
+			}
+			break
+		}
+		blob, err := io.ReadAll(part)
+		if err != nil {
+			return nil, fmt.Errorf("client: reading slice part: %w", err)
+		}
+		res.WireBytes += int64(len(blob))
+		if part.Header.Get("Content-Encoding") == api.EncodingGzip {
+			if blob, err = compress.Gunzip(blob); err != nil {
+				return nil, fmt.Errorf("client: slice part: %w", err)
+			}
+		}
+		res.RawBytes += int64(len(blob))
+		z, err := strconv.Atoi(part.Header.Get(api.HeaderSliceZ))
+		if err != nil {
+			return nil, fmt.Errorf("client: slice part without a %s header", api.HeaderSliceZ)
+		}
+		total, err := strconv.Atoi(part.Header.Get(api.HeaderSliceTotal))
+		if err != nil || total <= 0 {
+			return nil, fmt.Errorf("client: slice part without a %s header", api.HeaderSliceTotal)
+		}
+		img, err := volume.ImageFromBytes(blob)
+		if err != nil {
+			return nil, fmt.Errorf("client: slice %d payload: %w", z, err)
+		}
+		if res.Volume == nil {
+			res.Volume = volume.New(img.W, img.H, total, volume.IMajor)
+			seen = make([]bool, total)
+		}
+		if z < 0 || z >= len(seen) {
+			return nil, fmt.Errorf("client: slice index %d out of range [0,%d)", z, len(seen))
+		}
+		if seen[z] {
+			return nil, fmt.Errorf("client: slice %d delivered twice", z)
+		}
+		seen[z] = true
+		if err := res.Volume.SetSliceZ(z, img); err != nil {
+			return nil, err
+		}
+		res.Slices++
+		if onSlice != nil {
+			onSlice(z, total)
+		}
+	}
+
+	if res.Final.State == api.StateDone {
+		if res.Volume == nil {
+			return nil, fmt.Errorf("client: job %s done but stream carried no slices", id)
+		}
+		if res.Slices != res.Volume.Nz {
+			return nil, fmt.Errorf("client: job %s done but only %d/%d slices streamed", id, res.Slices, res.Volume.Nz)
+		}
+	}
+	return res, nil
+}

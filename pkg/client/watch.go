@@ -1,0 +1,124 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ifdk/pkg/api"
+)
+
+// Watch follows a job's lifecycle over SSE, invoking fn for every event in
+// sequence order, and returns the job's terminal state once its stream
+// ends. A dropped connection is survived transparently: Watch reconnects
+// with the standard Last-Event-ID header carrying the highest sequence
+// number already delivered, so fn sees every event exactly once, in order,
+// with no duplicates across reconnects (the server's per-job log replays
+// only Seq > Last-Event-ID).
+//
+// Watch returns when the terminal event has been delivered, when fn returns
+// a non-nil error (propagated verbatim), when ctx ends, or when the server
+// rejects the watch outright (*api.Error — e.g. not_found after the job was
+// deleted). fn may be nil to just await termination event-driven.
+func (c *Client) Watch(ctx context.Context, id string, fn func(api.Event) error) (api.State, error) {
+	var lastSeq int64
+	var terminal api.State
+	attempt := 0
+	for {
+		state, seq, err := c.watchOnce(ctx, id, lastSeq, fn)
+		lastSeq = seq
+		if err == nil {
+			terminal = state
+			return terminal, nil
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if apiErr, ok := asAPIError(err); ok && !apiErr.Retryable() {
+			return "", err
+		}
+		var fnErr *callbackError
+		if errors.As(err, &fnErr) {
+			return "", fnErr.err
+		}
+		// Transport drop or retryable server condition: back off and resume.
+		attempt++
+		if attempt >= c.retry.Max {
+			return "", fmt.Errorf("client: watch %s: %d reconnects exhausted: %w", id, attempt, err)
+		}
+		wait := c.backoff(attempt, 0)
+		if c.retry.OnRetry != nil {
+			c.retry.OnRetry("watch_reconnect", attempt, wait)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+// callbackError marks an error produced by the caller's fn, which must
+// abort the watch without retrying.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
+// watchOnce holds one SSE connection, resuming after lastSeq, and returns
+// the terminal state if the stream completed, or the highest delivered seq
+// plus the reason it ended early.
+func (c *Client) watchOnce(ctx context.Context, id string, lastSeq int64, fn func(api.Event) error) (api.State, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", lastSeq, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	if lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", lastSeq, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", lastSeq, decodeError(resp)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			return "", lastSeq, fmt.Errorf("client: bad event payload: %w", err)
+		}
+		if e.Seq <= lastSeq {
+			continue // replay overlap after a reconnect; already delivered
+		}
+		lastSeq = e.Seq
+		if fn != nil {
+			if err := fn(e); err != nil {
+				return "", lastSeq, &callbackError{err: err}
+			}
+		}
+		if e.Type.Terminal() {
+			return e.State, lastSeq, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", lastSeq, err
+	}
+	// EOF without a terminal event: the connection was dropped mid-stream.
+	return "", lastSeq, fmt.Errorf("client: event stream for %s ended without a terminal event", id)
+}
