@@ -39,6 +39,12 @@
 //
 //	ifdk-load -stream -nx 64 -workers 2
 //	ifdk-load -stream -gzip
+//
+// With -trace the generator additionally fetches one sampled job's span
+// tree (GET /v1/jobs/{id}/trace) after the run and prints it as an
+// indented waterfall — queue wait, dataset staging, per-round filter and
+// AllGather, back-projection, reduce and store, with the router's proxy
+// hop on top when pointed at an ifdk-router.
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +86,7 @@ type loadConfig struct {
 	mixed        bool
 	stream       bool
 	gzip         bool
+	trace        bool
 	maxQueuedSec float64
 	quotaRPS     float64
 	aging        time.Duration
@@ -99,6 +107,7 @@ func main() {
 	flag.BoolVar(&lc.mixed, "mixed", false, "run the multi-client mixed-priority fairness scenario")
 	flag.BoolVar(&lc.stream, "stream", false, "run the streaming time-to-first-slice scenario")
 	flag.BoolVar(&lc.gzip, "gzip", false, "negotiate per-part gzip slice encoding in -stream and report bytes saved")
+	flag.BoolVar(&lc.trace, "trace", false, "fetch and print one sampled job's span-tree waterfall after the run")
 	flag.Float64Var(&lc.maxQueuedSec, "max-queued-sec", 0.5, "queued-work cost budget for -mixed (in-process server only)")
 	flag.Float64Var(&lc.quotaRPS, "quota-rps", 0, "per-client quota for the in-process server (0 = off)")
 	flag.DurationVar(&lc.aging, "aging", 150*time.Millisecond, "priority aging step for -mixed (in-process server only)")
@@ -429,6 +438,9 @@ func runStream(ctx context.Context, c *client.Client, lc loadConfig) error {
 	}
 	fmt.Printf("speedup:             first slice arrived at %.0f%% of full-volume latency\n",
 		100*ttfs.Seconds()/ttfv.Seconds())
+	if lc.trace {
+		printTrace(ctx, c, v.ID)
+	}
 
 	switch {
 	case str.res.Final.State != api.StateDone:
@@ -449,6 +461,92 @@ func runStream(ctx context.Context, c *client.Client, lc loadConfig) error {
 	}
 	fmt.Println("streaming scenario OK")
 	return nil
+}
+
+// printTrace renders one job's span tree as an indented waterfall: each
+// line shows the span's offset from the trace's earliest start, its name
+// nested under its parent, its duration and owning service. Orphan parents
+// (e.g. the SDK's client span, which no server records) start new roots.
+// Per-round compute spans collapse past a few examples to keep the output
+// readable on long scans.
+func printTrace(ctx context.Context, c *client.Client, id string) {
+	tr, err := c.Trace(ctx, id)
+	if err != nil {
+		fmt.Printf("trace %s: %v\n", id, err)
+		return
+	}
+	complete := "complete"
+	if !tr.Complete {
+		complete = "partial"
+	}
+	fmt.Printf("\n=== trace %s (job %s, %d spans, %s) ===\n", tr.TraceID, tr.Job, len(tr.Spans), complete)
+
+	known := map[string]bool{}
+	for _, s := range tr.Spans {
+		known[s.SpanID] = true
+	}
+	children := map[string][]api.Span{}
+	var roots []api.Span
+	var base time.Time
+	starts := map[string]time.Time{}
+	for _, s := range tr.Spans {
+		if ts, perr := time.Parse(time.RFC3339Nano, s.Start); perr == nil {
+			starts[s.SpanID] = ts
+			if base.IsZero() || ts.Before(base) {
+				base = ts
+			}
+		}
+		if s.ParentSpanID != "" && known[s.ParentSpanID] {
+			children[s.ParentSpanID] = append(children[s.ParentSpanID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(spans []api.Span) {
+		sort.Slice(spans, func(i, j int) bool {
+			si, sj := starts[spans[i].SpanID], starts[spans[j].SpanID]
+			if !si.Equal(sj) {
+				return si.Before(sj)
+			}
+			return spans[i].Name < spans[j].Name
+		})
+	}
+	order(roots)
+
+	const maxRounds = 8
+	var walk func(s api.Span, depth int)
+	walk = func(s api.Span, depth int) {
+		off := 0.0
+		if ts, ok := starts[s.SpanID]; ok {
+			off = ts.Sub(base).Seconds()
+		}
+		fmt.Printf("%9.3fs  %s%s  %.3fs  [%s]\n",
+			off, strings.Repeat("   ", depth), s.Name, s.DurationSec, s.Service)
+		kids := children[s.SpanID]
+		order(kids)
+		seen := map[string]int{}
+		for _, ch := range kids {
+			if strings.HasSuffix(ch.Name, ".round") {
+				seen[ch.Name]++
+				if seen[ch.Name] > maxRounds {
+					continue
+				}
+			}
+			walk(ch, depth+1)
+		}
+		elided := 0
+		for _, n := range seen {
+			if n > maxRounds {
+				elided += n - maxRounds
+			}
+		}
+		if elided > 0 {
+			fmt.Printf("%9s  %s… %d more round spans elided\n", "", strings.Repeat("   ", depth+1), elided)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
 }
 
 // cancelProbe submits a job and cancels it immediately, checking that the
@@ -540,6 +638,17 @@ func report(ctx context.Context, c *client.Client, lc loadConfig, results []resu
 			if ws, ok := mt.WaitSec[class]; ok {
 				fmt.Printf("wait[%s]:  p50 %.3fs  p90 %.3fs  p99 %.3fs  (%d jobs)\n",
 					class, ws.P50, ws.P90, ws.P99, ws.Count)
+			}
+		}
+	}
+
+	if lc.trace {
+		// Sample one real run (cache hits have trivial two-span traces) and
+		// show where its time went, end to end.
+		for _, r := range results {
+			if r.err == nil && !r.view.CacheHit {
+				printTrace(ctx, c, r.id)
+				break
 			}
 		}
 	}

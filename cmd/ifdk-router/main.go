@@ -3,8 +3,10 @@
 // by rendezvous-hashing their content cache key, so identical requests
 // always land on the same backend and every node's result cache stays hot;
 // SSE event streams and mid-run multipart slice streams proxy through
-// unbuffered; /v1/metrics aggregates the whole fleet; and a health loop
-// reroutes pending (never-started) jobs off dead backends.
+// unbuffered; /v1/metrics aggregates the whole fleet (GET /metrics serves
+// the router's own Prometheus registry); trace context propagates through
+// every submission; and a health loop reroutes pending (never-started) jobs
+// off dead backends.
 //
 //	ifdkd -addr :8081 -node b0 &
 //	ifdkd -addr :8082 -node b1 &
@@ -19,7 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,6 +29,9 @@ import (
 	"syscall"
 	"time"
 
+	_ "net/http/pprof"
+
+	"ifdk/internal/obs"
 	"ifdk/internal/router"
 )
 
@@ -49,35 +54,63 @@ func parseBackends(s string) ([]router.Backend, error) {
 	return out, nil
 }
 
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", s)
+	}
+	return l, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	backends := flag.String("backends", "",
 		"comma-separated backends, name=url pairs (bare urls get b0,b1,... names matching each ifdkd's -node)")
 	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "backend health probe period")
 	deadAfter := flag.Int("dead-after", 2, "consecutive failed probes before a backend is dead")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON records instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (off when empty)")
 	flag.Parse()
 
-	if err := run(*addr, *backends, *healthEvery, *deadAfter); err != nil {
+	if err := run(*addr, *backends, *healthEvery, *deadAfter, *logJSON, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdk-router:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int) error {
+func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int, logJSON bool, logLevel, debugAddr string) error {
 	bs, err := parseBackends(backendSpec)
 	if err != nil {
 		return err
 	}
+	level, err := parseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, obs.NewLoggerOptions{JSON: logJSON, Level: level}, "ifdk-router", "")
+
 	rt, err := router.New(router.Options{
 		Backends:    bs,
 		HealthEvery: healthEvery,
 		DeadAfter:   deadAfter,
-		Logf:        log.Printf,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+
+	if debugAddr != "" {
+		// pprof registers on http.DefaultServeMux via its import side effect;
+		// serve it on a separate listener so profiling stays off the API port.
+		go func() {
+			logger.Info("pprof debug server listening", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				logger.Error("pprof debug server failed", "err", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: addr, Handler: rt}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,10 +118,10 @@ func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int) err
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ifdk-router: serving on %s over %d backends (probe %v, dead after %d)",
-			addr, len(bs), healthEvery, deadAfter)
+		logger.Info("serving", "addr", addr, "backends", len(bs),
+			"probe_every", healthEvery.String(), "dead_after", deadAfter)
 		for _, b := range bs {
-			log.Printf("ifdk-router:   backend %s -> %s", b.Name, b.URL)
+			logger.Info("backend registered", "backend", b.Name, "url", b.URL)
 		}
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
@@ -100,12 +133,12 @@ func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int) err
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("ifdk-router: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("ifdk-router: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	log.Print("ifdk-router: bye")
+	logger.Info("bye")
 	return nil
 }

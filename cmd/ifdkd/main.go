@@ -13,7 +13,8 @@
 // the PFS — long before the job is terminal.
 //
 //	ifdkd -addr :8080 -workers 4 -queue 16 -cache-mb 1024 \
-//	      -max-queued-sec 30 -quota-rps 5 -aging 15s -event-log 1024
+//	      -max-queued-sec 30 -quota-rps 5 -aging 15s -event-log 1024 \
+//	      -log-json -log-level info -debug-addr localhost:6060
 //
 // Quickstart:
 //
@@ -33,14 +34,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	_ "net/http/pprof"
+
 	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/obs"
 	"ifdk/internal/service"
 )
 
@@ -63,7 +67,17 @@ func main() {
 		"node id prefixed to job ids; give every backend behind an ifdk-router a distinct one")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON records instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (off when empty)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ifdkd: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.NewLoggerOptions{JSON: *logJSON, Level: level}, "ifdkd", *node)
 
 	opt := service.Options{
 		Workers:          *workers,
@@ -73,6 +87,7 @@ func main() {
 		QuotaRPS:         *quotaRPS,
 		EventLogCap:      *eventLog,
 		NodeID:           *node,
+		Logger:           logger,
 	}
 	if *aging <= 0 {
 		opt.Aging = -1 // disabled (0 in Options means "default")
@@ -87,18 +102,29 @@ func main() {
 		opt.PFS = pfs.ABCIConfig()
 	}
 
-	if err := run(*addr, opt, *drain); err != nil {
+	if err := run(*addr, *debugAddr, opt, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdkd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opt service.Options, drain time.Duration) error {
+func run(addr, debugAddr string, opt service.Options, drain time.Duration, logger *slog.Logger) error {
 	m := service.NewManager(opt)
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(m)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if debugAddr != "" {
+		// pprof registers on http.DefaultServeMux via its import side effect;
+		// serve it on a separate listener so profiling stays off the API port.
+		go func() {
+			logger.Info("pprof debug server listening", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				logger.Error("pprof debug server failed", "err", err)
+			}
+		}()
+	}
 
 	agingDesc := "off"
 	if opt.Aging > 0 {
@@ -106,9 +132,10 @@ func run(addr string, opt service.Options, drain time.Duration) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ifdkd: serving on %s (%d workers, queue %d, budget %gs/%d MiB, quota %g rps, aging %s)",
-			addr, opt.Workers, opt.QueueCap, opt.MaxQueuedSec, opt.MaxInflightBytes>>20,
-			opt.QuotaRPS, agingDesc)
+		logger.Info("serving",
+			"addr", addr, "workers", opt.Workers, "queue", opt.QueueCap,
+			"budget_sec", opt.MaxQueuedSec, "budget_mib", opt.MaxInflightBytes>>20,
+			"quota_rps", opt.QuotaRPS, "aging", agingDesc)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -119,15 +146,15 @@ func run(addr string, opt service.Options, drain time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ifdkd: shutting down (drain budget %v)", drain)
+	logger.Info("shutting down", "drain_budget", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("ifdkd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := m.Shutdown(shutCtx); err != nil {
-		log.Printf("ifdkd: manager shutdown: %v", err)
+		logger.Warn("manager shutdown", "err", err)
 	}
-	log.Print("ifdkd: bye")
+	logger.Info("bye")
 	return nil
 }

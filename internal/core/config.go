@@ -33,6 +33,14 @@ type Config struct {
 	// from serialization so Config stays hashable for caching.
 	Progress func(done, total int) `json:"-"`
 
+	// CollectRounds, when set, records every AllGather round's filter and
+	// collective timing into pre-sized per-rank buffers (Result.Rounds) —
+	// the raw material for per-round trace spans. The buffers are sized
+	// once before the pipeline starts, so the steady-state compute path
+	// stays allocation-free. Excluded from serialization: observability
+	// settings must not perturb content-addressed cache keys.
+	CollectRounds bool `json:"-"`
+
 	// SliceWritten, when non-nil and OutputPrefix != "", is invoked after
 	// each output z-slice has been durably written to the PFS by its row
 	// root during the epilogue — mid-run, long before the full volume is
@@ -125,10 +133,25 @@ func maxTimes(a, b StageTimes) StageTimes {
 	}
 }
 
+// RoundTrace records one AllGather round's stage timing on one rank, as
+// offsets from the rank's pipeline start: when the round's own projection
+// was loaded+filtered by the filtering thread, and when the column
+// collective exchanged it. The per-rank slices are pre-sized before the
+// pipeline starts, so recording is allocation-free in steady state; the
+// service layer turns them into trace spans once, at job end.
+type RoundTrace struct {
+	Round     int           // round index r in [0, quota)
+	FilterOff time.Duration // offset of the load+filter of this round's projection
+	FilterDur time.Duration // load+filter busy time for that projection
+	GatherOff time.Duration // offset of the round's AllGather
+	GatherDur time.Duration // AllGather busy time
+}
+
 // Result is the outcome of a distributed reconstruction.
 type Result struct {
 	Volume    *volume.Volume // full volume at rank 0 (nil unless AssembleVolume)
 	PerRank   []StageTimes
-	Max       StageTimes // element-wise max over ranks
-	BytesSent int64      // total MPI payload bytes
+	Rounds    [][]RoundTrace // per-rank per-round stage timings (nil when CollectRounds is off)
+	Max       StageTimes     // element-wise max over ranks
+	BytesSent int64          // total MPI payload bytes
 }

@@ -249,3 +249,53 @@ func TestStageProjectionsValidation(t *testing.T) {
 		t.Error("nil projection accepted")
 	}
 }
+
+// CollectRounds must populate per-rank, per-round filter/AllGather timings
+// without perturbing the reconstruction, and leave Rounds nil when off.
+func TestCollectRounds(t *testing.T) {
+	g, store, ref := testSetup(t)
+	cfg := Config{
+		R: 2, C: 2,
+		Geometry:       g,
+		InputPrefix:    "in",
+		AssembleVolume: true,
+		CollectRounds:  true,
+	}
+	res, err := Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := relVolRMSE(t, ref, res.Volume); r > 1e-5 {
+		t.Errorf("relative RMSE vs serial = %g, want < 1e-5", r)
+	}
+	quota := g.Np / (cfg.R * cfg.C)
+	if len(res.Rounds) != cfg.R*cfg.C {
+		t.Fatalf("Rounds covers %d ranks, want %d", len(res.Rounds), cfg.R*cfg.C)
+	}
+	for rank, rounds := range res.Rounds {
+		if len(rounds) != quota {
+			t.Fatalf("rank %d: %d rounds, want quota %d", rank, len(rounds), quota)
+		}
+		for i, rt := range rounds {
+			if rt.Round != i {
+				t.Errorf("rank %d round %d: Round = %d", rank, i, rt.Round)
+			}
+			if rt.FilterDur <= 0 || rt.GatherDur <= 0 {
+				t.Errorf("rank %d round %d: zero durations %+v", rank, i, rt)
+			}
+			if rt.GatherOff < rt.FilterOff {
+				t.Errorf("rank %d round %d: AllGather at %v before its filter at %v",
+					rank, i, rt.GatherOff, rt.FilterOff)
+			}
+		}
+	}
+
+	cfg.CollectRounds = false
+	res, err = Run(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != nil {
+		t.Error("Rounds populated with CollectRounds off")
+	}
+}

@@ -48,6 +48,9 @@ func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error
 	}
 	n := cfg.R * cfg.C
 	res := &Result{PerRank: make([]StageTimes, n)}
+	if cfg.CollectRounds {
+		res.Rounds = make([][]RoundTrace, n)
+	}
 	var assembled atomic.Pointer[volume.Volume]
 	var bytesSent atomic.Int64
 
@@ -77,11 +80,14 @@ func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error
 	}
 
 	err := mpi.RunContext(ctx, n, func(c *mpi.Comm) error {
-		t, vol, err := runRank(ctx, cfg, store, c, tick, sliceTick)
+		t, vol, rounds, err := runRank(ctx, cfg, store, c, tick, sliceTick)
 		if err != nil {
 			return err
 		}
 		res.PerRank[c.Rank()] = t
+		if res.Rounds != nil {
+			res.Rounds[c.Rank()] = rounds
+		}
 		if c.Rank() == 0 {
 			bytesSent.Store(c.BytesSent())
 			if vol != nil {
@@ -108,22 +114,32 @@ func RunContext(ctx context.Context, cfg Config, store *pfs.PFS) (*Result, error
 // Fig. 4a followed by the reduce/store epilogue of Fig. 4b. tick is called
 // once per completed AllGather round for progress reporting; sliceTick once
 // per output slice written to the PFS, with its global z index.
-func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick func(), sliceTick func(z int)) (StageTimes, *volume.Volume, error) {
+func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick func(), sliceTick func(z int)) (StageTimes, *volume.Volume, []RoundTrace, error) {
 	var t StageTimes
 	g := cfg.Geometry
 	row := RankRow(c.Rank(), cfg.R)
 	col := RankCol(c.Rank(), cfg.R)
 	colComm, err := c.Split(col, row) // column group: AllGather of projections
 	if err != nil {
-		return t, nil, err
+		return t, nil, nil, err
 	}
 	rowComm, err := c.Split(row, col) // row group: Reduce of sub-volumes
 	if err != nil {
-		return t, nil, err
+		return t, nil, nil, err
 	}
 
 	start := time.Now()
 	quota := g.Np / (cfg.R * cfg.C)
+	// Pre-sized per-rank round-trace buffer: the filter thread writes the
+	// Filter* fields of entry s-myLo, the main thread the Gather* fields of
+	// entry r — disjoint fields, fixed capacity, zero steady-state allocs.
+	var rounds []RoundTrace
+	if cfg.CollectRounds {
+		rounds = make([]RoundTrace, quota)
+		for i := range rounds {
+			rounds[i].Round = i
+		}
+	}
 	colLo, _ := ColProjRange(col, g.Np, cfg.C)
 	myLo, myHi := RankProjRange(row, col, g.Np, cfg.R, cfg.C)
 	z0, z1 := RowSlab(row, g.Nz, cfg.R)
@@ -148,6 +164,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				if err := ctx.Err(); err != nil {
 					return err
 				}
+				roundOff := time.Since(start)
 				loadStart := time.Now()
 				img := engine.Images.Acquire(g.Nu, g.Nv)
 				if _, err := store.ReadProjectionInto(img, cfg.InputPrefix, s); err != nil {
@@ -161,6 +178,10 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 					return err
 				}
 				t.Filter += time.Since(fltStart)
+				if rounds != nil {
+					rounds[s-myLo].FilterOff = roundOff
+					rounds[s-myLo].FilterDur = time.Since(start) - roundOff
+				}
 				if !ringA.Put(projItem{s: s, img: img}) {
 					engine.Images.Release(img)
 					return nil // pipeline shut down
@@ -242,6 +263,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				engine.Images.Release(it.img)
 				return fmt.Errorf("rank %d: projection %d out of order (want %d)", c.Rank(), it.s, myLo+r)
 			}
+			agOff := time.Since(start)
 			agStart := time.Now()
 			blocks, err := colComm.AllGatherBufs(it.img.Data)
 			// The AllGather copies the payload into its own pooled blocks,
@@ -251,6 +273,10 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				return err
 			}
 			t.AllGather += time.Since(agStart)
+			if rounds != nil {
+				rounds[r].GatherOff = agOff
+				rounds[r].GatherDur = time.Since(agStart)
+			}
 			for i, blk := range blocks {
 				s := colLo + i*quota + r
 				if !ringB.Put(projItem{s: s, img: &volume.Image{W: g.Nu, H: g.Nv, Data: blk.Data}, buf: blk}) {
@@ -293,17 +319,17 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 		<-filterErr
 		<-bpErr
 		abandon()
-		return t, nil, mainErr
+		return t, nil, nil, mainErr
 	}
 	if err := <-filterErr; err != nil {
 		ringB.Close()
 		<-bpErr
 		abandon()
-		return t, nil, err
+		return t, nil, nil, err
 	}
 	if err := <-bpErr; err != nil {
 		abandon()
-		return t, nil, err
+		return t, nil, nil, err
 	}
 	t.Compute = time.Since(start)
 
@@ -315,7 +341,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 	// slab pair goes back for the next job regardless of the outcome.
 	engine.Volumes.Release(local)
 	if err != nil {
-		return t, nil, err
+		return t, nil, nil, err
 	}
 	t.Reduce = time.Since(redStart)
 
@@ -329,11 +355,11 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				// Honour cancellation between slices so an aborted job
 				// stops publishing output (and slice callbacks) promptly.
 				if err := ctx.Err(); err != nil {
-					return t, nil, err
+					return t, nil, nil, err
 				}
 				img := reduced.SliceZ(p)
 				if _, err := store.Write(pfs.SlicePath(cfg.OutputPrefix, globalZ), volume.ImageToBytes(img)); err != nil {
-					return t, nil, err
+					return t, nil, nil, err
 				}
 				sliceTick(globalZ)
 			}
@@ -343,26 +369,26 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 			if c.Rank() == 0 {
 				full = volume.New(g.Nx, g.Ny, g.Nz, volume.IMajor)
 				if err := backproject.SlabPairToGlobal(reduced, full, g.Nz, z0, z1); err != nil {
-					return t, nil, err
+					return t, nil, nil, err
 				}
 				for otherRow := 1; otherRow < cfg.R; otherRow++ {
 					data, err := c.Recv(RankID(otherRow, 0, cfg.R), tagAssemble)
 					if err != nil {
-						return t, nil, err
+						return t, nil, nil, err
 					}
 					oz0, oz1 := RowSlab(otherRow, g.Nz, cfg.R)
 					part := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * (oz1 - oz0), Layout: volume.KMajor, Data: data}
 					if err := backproject.SlabPairToGlobal(part, full, g.Nz, oz0, oz1); err != nil {
-						return t, nil, err
+						return t, nil, nil, err
 					}
 				}
 			} else {
 				if err := c.Send(0, tagAssemble, red); err != nil {
-					return t, nil, err
+					return t, nil, nil, err
 				}
 			}
 		}
 	}
 	t.Total = time.Since(start)
-	return t, full, nil
+	return t, full, rounds, nil
 }

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the fleet's standard structured logger: text or JSON
+// handler at the given level, with the component and node identity folded
+// into every record. Pass the empty node for single-node deployments.
+//
+// Field conventions across the fleet (see README "Observability"):
+//
+//	component  "ifdkd" | "ifdk-router" | "service" | "router"
+//	node       the daemon's -node identity (fleet-unique)
+//	job_id     public job ID
+//	trace_id   the job's trace, shared across SDK -> router -> backend
+type NewLoggerOptions struct {
+	JSON  bool
+	Level slog.Level
+}
+
+// NewLogger constructs a *slog.Logger writing to w.
+func NewLogger(w io.Writer, opt NewLoggerOptions, component, node string) *slog.Logger {
+	ho := &slog.HandlerOptions{Level: opt.Level}
+	var h slog.Handler
+	if opt.JSON {
+		h = slog.NewJSONHandler(w, ho)
+	} else {
+		h = slog.NewTextHandler(w, ho)
+	}
+	attrs := []slog.Attr{slog.String("component", component)}
+	if node != "" {
+		attrs = append(attrs, slog.String("node", node))
+	}
+	return slog.New(h.WithAttrs(attrs))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library code whose caller did not wire logging.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

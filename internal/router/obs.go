@@ -1,0 +1,105 @@
+package router
+
+import (
+	"ifdk/internal/obs"
+
+	"ifdk/pkg/api"
+)
+
+// routerMetrics is the router's own observability registry — one level above
+// the per-daemon registries it scrapes. Everything here is about the *fleet
+// fabric*: backend liveness, probe and scrape latency, transport failures on
+// the request path, and failover activity. Per-job reconstruction metrics
+// stay on the backends; /v1/metrics aggregates those separately.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	alive         *obs.GaugeVec     // ifdk_router_backend_alive{backend}
+	probeFails    *obs.GaugeVec     // ifdk_router_backend_probe_failures{backend} (consecutive)
+	probeSeconds  *obs.HistogramVec // ifdk_router_probe_seconds{backend}
+	scrapeSeconds *obs.HistogramVec // ifdk_router_scrape_seconds{backend}
+	backendErrors *obs.CounterVec   // ifdk_router_backend_errors_total{backend}
+}
+
+// newRouterMetrics builds the registry over a router whose backend set is
+// already final (New registers backends before starting the health loop).
+// Per-backend series are pre-touched so every backend exposes a full set of
+// families from the first scrape, not only after its first probe.
+func newRouterMetrics(rt *Router) *routerMetrics {
+	reg := obs.NewRegistry()
+	m := &routerMetrics{
+		reg: reg,
+		alive: reg.GaugeVec("ifdk_router_backend_alive",
+			"Backend liveness as seen by the health loop (1 alive, 0 dead).", "backend"),
+		probeFails: reg.GaugeVec("ifdk_router_backend_probe_failures",
+			"Consecutive failed health probes per backend; resets to 0 on success.", "backend"),
+		probeSeconds: reg.HistogramVec("ifdk_router_probe_seconds",
+			"Health probe round-trip latency per backend.", nil, "backend"),
+		scrapeSeconds: reg.HistogramVec("ifdk_router_scrape_seconds",
+			"Per-backend /v1/metrics scrape latency during fleet aggregation.", nil, "backend"),
+		backendErrors: reg.CounterVec("ifdk_router_backend_errors_total",
+			"Request-path transport failures per backend (client-side cancellations excluded).", "backend"),
+	}
+	reg.CounterFunc("ifdk_router_reroutes_total",
+		"Pending jobs resubmitted to a surviving backend after a backend death.",
+		func() float64 { return float64(rt.reroutes.Load()) })
+	reg.GaugeFunc("ifdk_router_routes",
+		"Job routes currently tracked (bounded by MaxRoutes).",
+		func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return float64(len(rt.jobs))
+		})
+	reg.GaugeFunc("ifdk_router_backends",
+		"Backends configured behind this router.",
+		func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return float64(len(rt.backends))
+		})
+	reg.GaugeFunc("ifdk_router_backends_alive",
+		"Backends currently considered alive.",
+		func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			n := 0
+			for _, b := range rt.backends {
+				if b.alive {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for _, b := range rt.opt.Backends {
+		m.alive.With(b.Name).Set(1)
+		m.probeFails.With(b.Name).Set(0)
+		m.backendErrors.With(b.Name).Add(0)
+	}
+	return m
+}
+
+// backendHealth snapshots per-backend health, consecutive probe failures,
+// last probe/scrape latencies and route counts — the shared payload of
+// GET /v1/backends and the Backends field of the fleet /v1/metrics.
+func (rt *Router) backendHealth() []api.BackendHealth {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	counts := map[string]int{}
+	for _, route := range rt.jobs {
+		counts[route.backend]++
+	}
+	out := make([]api.BackendHealth, 0, len(rt.names))
+	for _, name := range rt.names {
+		b := rt.backends[name]
+		out = append(out, api.BackendHealth{
+			Name:            name,
+			URL:             b.URL,
+			Alive:           b.alive,
+			Jobs:            counts[name],
+			ProbeFails:      b.fails,
+			ProbeLatencyMS:  b.probeLatency.Seconds() * 1e3,
+			ScrapeLatencyMS: b.scrapeLatency.Seconds() * 1e3,
+		})
+	}
+	return out
+}

@@ -14,7 +14,12 @@
 // The router proxies the full v1 surface, including the streaming
 // endpoints: SSE event streams (with Last-Event-ID resume) and mid-run
 // multipart slice streams pass through unbuffered. /v1/metrics fans in all
-// live backends into one fleet-aggregate snapshot. A health loop probes
+// live backends into one fleet-aggregate snapshot (with per-backend health
+// and scrape latency riding along); GET /metrics serves the router's own
+// ifdk_router_* registry as Prometheus text. Submissions carry W3C trace
+// context: the router inherits or mints a traceparent, interposes its proxy
+// span, and GET /v1/jobs/{id}/trace returns the backend's span tree with
+// the router hop appended. A health loop probes
 // /healthz; when a backend dies, jobs the router last saw queued (never
 // started) are resubmitted to a surviving backend under their original
 // public ID — pending work survives node death. Running jobs are not
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -37,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ifdk/internal/obs"
 	"ifdk/internal/service"
 	"ifdk/pkg/api"
 )
@@ -50,11 +57,11 @@ type Backend struct {
 // Options configures a Router.
 type Options struct {
 	Backends    []Backend
-	HealthEvery time.Duration                 // health probe period (default 500ms)
-	DeadAfter   int                           // consecutive probe failures before a backend is dead (default 2)
-	MaxRoutes   int                           // retained job routes; terminal ones are pruned first (default 8192)
-	Client      *http.Client                  // JSON/health transport (default: 15s timeout)
-	Logf        func(format string, a ...any) // optional event log
+	HealthEvery time.Duration // health probe period (default 500ms)
+	DeadAfter   int           // consecutive probe failures before a backend is dead (default 2)
+	MaxRoutes   int           // retained job routes; terminal ones are pruned first (default 8192)
+	Client      *http.Client  // JSON/health transport (default: 15s timeout)
+	Logger      *slog.Logger  // structured event log (default: discard)
 }
 
 func (o Options) withDefaults() Options {
@@ -70,8 +77,8 @@ func (o Options) withDefaults() Options {
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 15 * time.Second}
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -79,25 +86,40 @@ func (o Options) withDefaults() Options {
 // backendState is one backend plus its health bookkeeping.
 type backendState struct {
 	Backend
-	proxy      *httputil.ReverseProxy
-	alive      bool
-	fails      int
-	nodeWarned bool // one-shot warning about a missing/mismatched -node id
+	proxy         *httputil.ReverseProxy
+	alive         bool
+	fails         int           // consecutive failed probes
+	probeLatency  time.Duration // last health probe round trip
+	scrapeLatency time.Duration // last /v1/metrics scrape round trip
+	nodeWarned    bool          // one-shot warning about a missing/mismatched -node id
 }
 
 // jobRoute records where a public job ID lives. backendID differs from the
-// public ID only after a failover resubmission.
+// public ID only after a failover resubmission. The trace fields hold the
+// router's hop in the job's span tree: clientSpan is the caller's parent
+// span (empty when the caller sent no traceparent), routerSpan is the proxy
+// span the router interposed — the backend's job span parents under it.
+// Routes discovered by probing (resolve) have no trace fields; their traces
+// relay without a router span.
 type jobRoute struct {
 	backend   string
 	backendID string
 	spec      api.Spec
 	state     api.State // last state the router observed for the job
+
+	traceID    string
+	clientSpan string
+	routerSpan string
+	proxyStart time.Time
+	proxyDur   time.Duration
 }
 
 // Router is an http.Handler fronting a fleet of ifdkd backends.
 type Router struct {
 	opt Options
 	mux *http.ServeMux
+	log *slog.Logger
+	met *routerMetrics
 
 	mu       sync.Mutex
 	backends map[string]*backendState
@@ -121,6 +143,7 @@ func New(opt Options) (*Router, error) {
 	rt := &Router{
 		opt:      opt,
 		mux:      http.NewServeMux(),
+		log:      opt.Logger,
 		backends: make(map[string]*backendState),
 		jobs:     make(map[string]*jobRoute),
 		stop:     make(chan struct{}),
@@ -145,6 +168,7 @@ func New(opt Options) (*Router, error) {
 		rt.names = append(rt.names, b.Name)
 	}
 	sort.Strings(rt.names)
+	rt.met = newRouterMetrics(rt)
 
 	rt.mux.HandleFunc("POST /v1/jobs", rt.submit)
 	rt.mux.HandleFunc("GET /v1/jobs", rt.list)
@@ -159,7 +183,9 @@ func New(opt Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStream(w, r, "/slice/"+r.PathValue("z"))
 	})
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.trace)
 	rt.mux.HandleFunc("GET /v1/metrics", rt.metrics)
+	rt.mux.Handle("GET /metrics", rt.met.reg.Handler())
 	rt.mux.HandleFunc("GET /v1/backends", rt.backendsHandler)
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "router"})
@@ -181,6 +207,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.Ser
 
 // Reroutes returns how many pending jobs have been failed over so far.
 func (rt *Router) Reroutes() int64 { return rt.reroutes.Load() }
+
+// Registry exposes the router's own metric registry (the ifdk_router_*
+// families served at GET /metrics) for embedding and tests.
+func (rt *Router) Registry() *obs.Registry { return rt.met.reg }
 
 // writeJSON and writeErr delegate to the contract package so the router
 // and the daemon emit byte-identical envelopes.
@@ -268,6 +298,7 @@ func (rt *Router) markFailure(ctx context.Context, name string) {
 	if ctx != nil && ctx.Err() != nil {
 		return
 	}
+	rt.met.backendErrors.With(name).Inc()
 	rt.observeHealth(name, false)
 }
 
@@ -283,7 +314,7 @@ func (rt *Router) observeHealth(name string, ok bool) {
 	var died bool
 	if ok {
 		if !b.alive {
-			rt.opt.Logf("router: backend %s back alive", name)
+			rt.log.Info("backend back alive", "backend", name)
 		}
 		b.alive, b.fails = true, 0
 	} else {
@@ -293,9 +324,17 @@ func (rt *Router) observeHealth(name string, ok bool) {
 			died = true
 		}
 	}
+	alive, fails := b.alive, b.fails
 	rt.mu.Unlock()
+	var g float64
+	if alive {
+		g = 1
+	}
+	rt.met.alive.With(name).Set(g)
+	rt.met.probeFails.With(name).Set(float64(fails))
 	if died {
-		rt.opt.Logf("router: backend %s dead after %d failures; rerouting pending jobs", name, rt.opt.DeadAfter)
+		rt.log.Warn("backend dead; rerouting pending jobs",
+			"backend", name, "fails", fails, "dead_after", rt.opt.DeadAfter)
 		rt.failover(name)
 	}
 }
@@ -317,9 +356,11 @@ func (rt *Router) checkNodeID(name, node string) {
 		return
 	}
 	if node == "" {
-		rt.opt.Logf("router: backend %s runs without -node; job IDs can collide across the fleet — start it with 'ifdkd -node %s'", name, name)
+		rt.log.Warn("backend runs without -node; job IDs can collide across the fleet",
+			"backend", name, "hint", "start it with 'ifdkd -node "+name+"'")
 	} else {
-		rt.opt.Logf("router: backend %s reports node id %q; name and -node must match for job-ID attribution — start it with 'ifdkd -node %s' or register it as %s=", name, node, name, node)
+		rt.log.Warn("backend node id does not match its registered name; job-ID attribution needs them equal",
+			"backend", name, "node", node, "hint", "start it with 'ifdkd -node "+name+"' or register it as "+node+"=")
 	}
 }
 
@@ -351,6 +392,7 @@ func (rt *Router) healthLoop() {
 			var node struct {
 				Node string `json:"node"`
 			}
+			probe0 := time.Now()
 			if err == nil {
 				if resp, rerr := rt.opt.Client.Do(req); rerr == nil {
 					_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&node)
@@ -359,7 +401,12 @@ func (rt *Router) healthLoop() {
 					ok = resp.StatusCode == http.StatusOK
 				}
 			}
+			probeDur := time.Since(probe0)
 			cancel()
+			rt.met.probeSeconds.With(name).Observe(probeDur.Seconds())
+			rt.mu.Lock()
+			b.probeLatency = probeDur
+			rt.mu.Unlock()
 			if ok {
 				rt.checkNodeID(name, node.Node)
 			}
@@ -377,13 +424,21 @@ func (rt *Router) healthLoop() {
 func (rt *Router) failover(dead string) {
 	rt.mu.Lock()
 	type pending struct {
-		id   string
-		spec api.Spec
+		id          string
+		spec        api.Spec
+		traceparent string
 	}
 	var moves []pending
 	for id, route := range rt.jobs {
 		if route.backend == dead && route.state == api.StateQueued {
-			moves = append(moves, pending{id: id, spec: route.spec})
+			mv := pending{id: id, spec: route.spec}
+			// Re-forward the same trace context the original submission
+			// carried: the resubmitted job keeps its trace ID, and its job
+			// span still parents under the router's proxy span.
+			if route.traceID != "" && route.routerSpan != "" {
+				mv.traceparent = api.FormatTraceParent(route.traceID, route.routerSpan)
+			}
+			moves = append(moves, mv)
 		}
 	}
 	rt.mu.Unlock()
@@ -392,7 +447,7 @@ func (rt *Router) failover(dead string) {
 	for _, mv := range moves {
 		alive := rt.aliveNames()
 		if len(alive) == 0 {
-			rt.opt.Logf("router: no live backend to reroute %s", mv.id)
+			rt.log.Warn("no live backend to reroute pending job", "job_id", mv.id)
 			return
 		}
 		key, err := service.SpecKey(mv.spec)
@@ -400,9 +455,9 @@ func (rt *Router) failover(dead string) {
 			continue // cannot happen: the spec was admitted once already
 		}
 		target := rendezvous(key, alive)
-		v, status, err := rt.postSpec(context.Background(), target, mv.spec)
+		v, status, err := rt.postSpec(context.Background(), target, mv.spec, mv.traceparent)
 		if err != nil || status < 200 || status > 299 {
-			rt.opt.Logf("router: reroute %s to %s failed (HTTP %d, %v)", mv.id, target, status, err)
+			rt.log.Warn("reroute failed", "job_id", mv.id, "target", target, "status", status, "err", err)
 			continue
 		}
 		rt.mu.Lock()
@@ -411,12 +466,13 @@ func (rt *Router) failover(dead string) {
 		}
 		rt.mu.Unlock()
 		rt.reroutes.Add(1)
-		rt.opt.Logf("router: rerouted pending job %s to %s (as %s)", mv.id, target, v.ID)
+		rt.log.Info("rerouted pending job", "job_id", mv.id, "target", target, "backend_id", v.ID)
 	}
 }
 
-// postSpec submits a spec to one backend and decodes the view.
-func (rt *Router) postSpec(ctx context.Context, name string, spec api.Spec) (api.View, int, error) {
+// postSpec submits a spec to one backend and decodes the view, forwarding
+// the (already router-stamped) traceparent when one is set.
+func (rt *Router) postSpec(ctx context.Context, name string, spec api.Spec, traceparent string) (api.View, int, error) {
 	rt.mu.Lock()
 	b := rt.backends[name]
 	rt.mu.Unlock()
@@ -429,6 +485,9 @@ func (rt *Router) postSpec(ctx context.Context, name string, spec api.Spec) (api
 		return api.View{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(api.TraceParentHeader, traceparent)
+	}
 	resp, err := rt.opt.Client.Do(req)
 	if err != nil {
 		rt.markFailure(ctx, name)
@@ -470,6 +529,7 @@ func (r *rawResponse) write(w http.ResponseWriter) {
 
 // submit routes POST /v1/jobs by the spec's content cache key.
 func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	proxy0 := time.Now()
 	var spec api.Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeErr(w, api.CodeBadRequest, "bad spec: %v", err)
@@ -480,6 +540,16 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, api.CodeInvalidSpec, "%v", err)
 		return
 	}
+	// Trace context: inherit the caller's traceparent (or mint a fresh trace
+	// for header-less callers) and interpose the router's proxy span, so the
+	// backend's job span parents under the router hop rather than directly
+	// under the client.
+	traceID, clientSpan, perr := api.ParseTraceParent(r.Header.Get(api.TraceParentHeader))
+	if perr != nil {
+		traceID, clientSpan = api.NewTraceID(), ""
+	}
+	routerSpan := api.NewSpanID()
+	traceparent := api.FormatTraceParent(traceID, routerSpan)
 	// A transport-dead target is retired and the next-highest backend takes
 	// the key; application errors (saturation, quota) relay verbatim — the
 	// owning backend said no, and bouncing the job elsewhere would shatter
@@ -491,7 +561,7 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		target := rendezvous(key, alive)
-		v, status, err := rt.postSpec(r.Context(), target, spec)
+		v, status, err := rt.postSpec(r.Context(), target, spec, traceparent)
 		if err != nil {
 			var raw *rawResponse
 			if asRaw(err, &raw) {
@@ -500,7 +570,14 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 			}
 			continue // transport failure: target was marked, re-pick
 		}
-		rt.recordRoute(v.ID, &jobRoute{backend: target, backendID: v.ID, spec: spec, state: v.State})
+		rt.recordRoute(v.ID, &jobRoute{
+			backend: target, backendID: v.ID, spec: spec, state: v.State,
+			traceID: traceID, clientSpan: clientSpan, routerSpan: routerSpan,
+			proxyStart: proxy0, proxyDur: time.Since(proxy0),
+		})
+		rt.log.Info("job routed",
+			"job_id", v.ID, "backend", target, "trace_id", traceID,
+			"cache_hit", v.CacheHit, "state", string(v.State))
 		writeJSON(w, status, v)
 		return
 	}
@@ -636,6 +713,61 @@ func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 	v.ID = id // public identity survives failover
 	writeJSON(w, http.StatusOK, v)
+}
+
+// trace proxies GET /v1/jobs/{id}/trace from the owning backend, rewrites
+// the backend's job ID back to the public one, and appends the router's own
+// proxy span — the returned tree then covers the full path client → router
+// → daemon → compute plane under one trace ID. Routes the router never
+// submitted (discovered by probing) relay the backend's trace untouched.
+func (rt *Router) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	route, ok := rt.resolve(r.Context(), id)
+	if !ok {
+		writeErr(w, api.CodeNotFound, "no such job %q in the fleet", id)
+		return
+	}
+	b, errCode := rt.routeTarget(route)
+	if errCode != "" {
+		writeErr(w, errCode, "backend %s for job %s is down", route.backend, id)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/jobs/"+route.backendID+"/trace", nil)
+	if err != nil {
+		writeErr(w, api.CodeInternal, "%v", err)
+		return
+	}
+	resp, err := rt.opt.Client.Do(req)
+	if err != nil {
+		rt.markFailure(r.Context(), route.backend)
+		writeErr(w, api.CodeUnavailable, "backend %s: %v", route.backend, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		(&rawResponse{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: body}).write(w)
+		return
+	}
+	var t api.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		writeErr(w, api.CodeInternal, "backend %s sent a bad trace: %v", route.backend, err)
+		return
+	}
+	t.Job = id // public identity survives failover
+	if route.routerSpan != "" && t.TraceID == route.traceID {
+		t.Spans = append(t.Spans, api.Span{
+			TraceID:      route.traceID,
+			SpanID:       route.routerSpan,
+			ParentSpanID: route.clientSpan,
+			Name:         "router.proxy",
+			Service:      "router",
+			Start:        route.proxyStart.UTC().Format(time.RFC3339Nano),
+			DurationSec:  route.proxyDur.Seconds(),
+			Attrs:        map[string]string{"backend": route.backend, "job_id": id},
+		})
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 // remove proxies DELETE /v1/jobs/{id} and forgets the route once the
@@ -827,7 +959,12 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 // conservative merge — exact percentiles do not compose).
 func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
 	alive := rt.aliveNames()
-	results := make(chan *api.Metrics, len(alive))
+	type scrape struct {
+		name string
+		m    *api.Metrics
+		dur  time.Duration
+	}
+	results := make(chan scrape, len(alive))
 	for _, name := range alive {
 		go func(name string) {
 			rt.mu.Lock()
@@ -835,31 +972,39 @@ func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
 			rt.mu.Unlock()
 			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/metrics", nil)
 			if err != nil {
-				results <- nil
+				results <- scrape{name: name}
 				return
 			}
+			t0 := time.Now()
 			resp, err := rt.opt.Client.Do(req)
 			if err != nil {
 				rt.markFailure(r.Context(), name)
-				results <- nil
+				results <- scrape{name: name}
 				return
 			}
 			defer resp.Body.Close()
 			var m api.Metrics
 			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-				results <- nil
+				results <- scrape{name: name}
 				return
 			}
-			results <- &m
+			results <- scrape{name: name, m: &m, dur: time.Since(t0)}
 		}(name)
 	}
 	agg := api.Metrics{Jobs: map[string]int{}, WaitSec: map[string]api.WaitStats{}}
 	n := 0
 	for range alive {
-		m := <-results
-		if m == nil {
+		res := <-results
+		if res.m == nil {
 			continue
 		}
+		rt.met.scrapeSeconds.With(res.name).Observe(res.dur.Seconds())
+		rt.mu.Lock()
+		if b := rt.backends[res.name]; b != nil {
+			b.scrapeLatency = res.dur
+		}
+		rt.mu.Unlock()
+		m := res.m
 		n++
 		if m.UptimeSec > agg.UptimeSec {
 			agg.UptimeSec = m.UptimeSec
@@ -891,6 +1036,7 @@ func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
 		agg.PFSReadMB += m.PFSReadMB
 		agg.PFSWriteMB += m.PFSWriteMB
 		agg.PFSObjects += m.PFSObjects
+		agg.EventDrops += m.EventDrops
 		for k, v := range m.Jobs {
 			agg.Jobs[k] += v
 		}
@@ -915,21 +1061,14 @@ func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
 	if agg.UptimeSec > 0 {
 		agg.JobsPerSec = float64(agg.Completed) / agg.UptimeSec
 	}
+	// Per-backend health rides along: scrape latency above was just
+	// refreshed, so the Backends view reflects this very fan-in.
+	agg.Backends = rt.backendHealth()
 	writeJSON(w, http.StatusOK, agg)
 }
 
-// backendsHandler reports per-backend health and route counts.
+// backendsHandler reports per-backend health, probe/scrape latencies and
+// route counts.
 func (rt *Router) backendsHandler(w http.ResponseWriter, _ *http.Request) {
-	rt.mu.Lock()
-	counts := map[string]int{}
-	for _, route := range rt.jobs {
-		counts[route.backend]++
-	}
-	out := make([]api.BackendHealth, 0, len(rt.names))
-	for _, name := range rt.names {
-		b := rt.backends[name]
-		out = append(out, api.BackendHealth{Name: name, URL: b.URL, Alive: b.alive, Jobs: counts[name]})
-	}
-	rt.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, rt.backendHealth())
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,6 +19,19 @@ import (
 	"ifdk/pkg/api"
 	"ifdk/pkg/client"
 )
+
+// testLogger routes the router's structured log through t.Logf so fleet
+// events land in the test output, correctly attributed per test.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
 
 // fleet is a router over n real ifdkd backends (full service.Manager +
 // HTTP server each), the e2e fixture of the multi-node story.
@@ -46,7 +60,7 @@ func startFleet(t *testing.T, n int, optFor func(i int) service.Options) *fleet 
 		f.names = append(f.names, opt.NodeID)
 		rbs = append(rbs, Backend{Name: opt.NodeID, URL: ts.URL})
 	}
-	rt, err := New(Options{Backends: rbs, HealthEvery: 25 * time.Millisecond, DeadAfter: 2, Logf: t.Logf})
+	rt, err := New(Options{Backends: rbs, HealthEvery: 25 * time.Millisecond, DeadAfter: 2, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

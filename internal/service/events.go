@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +26,7 @@ type topic struct {
 // Bus is the per-job event fan-out registry of a Manager.
 type Bus struct {
 	logCap int
+	drops  atomic.Int64 // events discarded by bounded per-job logs
 	mu     sync.Mutex
 	topics map[string]*topic
 }
@@ -73,6 +75,7 @@ func (b *Bus) Publish(job string, e Event) {
 	}
 	if over := len(tp.events) - b.logCap; over > 0 {
 		tp.events = append(tp.events[:0], tp.events[over:]...)
+		b.drops.Add(int64(over))
 	}
 	if e.Type.Terminal() {
 		tp.closed = true
@@ -85,6 +88,12 @@ func (b *Bus) Publish(job string, e Event) {
 	}
 	tp.mu.Unlock()
 }
+
+// Drops reports how many events the bounded per-job logs have discarded
+// since startup — a consumer that polls or resumes slower than the
+// retention window loses exactly these. Exported via /v1/metrics
+// (event_drops) and ifdk_event_drops_total.
+func (b *Bus) Drops() int64 { return b.drops.Load() }
 
 // Drop discards a job's topic (the job record was deleted or pruned) and
 // wakes its subscribers, whose Next calls then report the stream closed.

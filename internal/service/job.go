@@ -196,6 +196,20 @@ type Job struct {
 	cancel    func() // non-nil while running
 	result    *Entry // terminal result (shared with the cache)
 
+	// tracing: the job's trace identity (minted at submit or inherited from
+	// the caller's traceparent) and the raw timestamps span assembly turns
+	// into the lifecycle tree (see trace.go). rounds is rank 0's per-round
+	// filter/AllGather clock, recorded by the compute plane into a
+	// pre-sized buffer.
+	traceID    string
+	parentSpan string
+	tStage0    time.Time // dataset staging window
+	tStage1    time.Time
+	tRun0      time.Time // distributed pipeline start
+	rounds     []core.RoundTrace
+	tVerify0   time.Time // serial-reference verification window
+	tVerify1   time.Time
+
 	// worker-side request, resolved once at submit time
 	ph       phantom.Phantom
 	cfg      core.Config // InputPrefix set; OutputPrefix/Progress set per run
@@ -251,6 +265,7 @@ func (j *Job) snapshot() View {
 		EstRunSec: j.estModelSec,
 		Cost:      j.estCost,
 		EstBytes:  j.estBytes,
+		TraceID:   j.traceID,
 		Stages:    stagesOf(j.times),
 	}
 	if j.total > 0 {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -15,8 +16,10 @@ import (
 	"ifdk/internal/ct/projector"
 	"ifdk/internal/engine"
 	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/obs"
 	"ifdk/internal/perfmodel"
 	"ifdk/internal/volume"
+	"ifdk/pkg/api"
 )
 
 // ErrQuota is returned by Submit when the client's token bucket is empty —
@@ -67,6 +70,15 @@ type Options struct {
 	// /stream: it is the replay window for late subscribers and
 	// Last-Event-ID resumption (0 = default 1024).
 	EventLogCap int
+
+	// Logger receives the manager's structured lifecycle records (job
+	// admitted / started / settled, each with job_id and trace_id fields).
+	// nil discards them — library default, daemons wire obs.NewLogger.
+	Logger *slog.Logger
+
+	// TraceCap bounds the in-memory ring of finished job traces backing
+	// GET /v1/jobs/{id}/trace (0 = default 256 traces of 512 spans).
+	TraceCap int
 
 	// testOnSlice, when non-nil, runs synchronously on the publishing
 	// row-root goroutine after each slice event, while the job is still
@@ -142,19 +154,18 @@ type Manager struct {
 	stageMu sync.Mutex
 	staged  map[string]*stageState
 
-	wg        sync.WaitGroup
-	busy      atomic.Int64
-	started   time.Time
-	completed atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	cacheHits atomic.Int64
+	wg      sync.WaitGroup
+	busy    atomic.Int64
+	started time.Time
 
-	admitted      atomic.Int64
-	rejectedFull  atomic.Int64
-	rejectedCost  atomic.Int64
-	rejectedBytes atomic.Int64
-	rejectedQuota atomic.Int64
+	// Observability plane: the counters the hot paths bump live inside the
+	// metrics registry (met), so the JSON /v1/metrics snapshot and the
+	// Prometheus exposition at GET /metrics read the same cells; tracer
+	// retains finished job traces and log carries structured lifecycle
+	// records.
+	met    *metricsSet
+	tracer *obs.Tracer
+	log    *slog.Logger
 }
 
 type stageState struct {
@@ -183,7 +194,13 @@ func NewManager(opt Options) *Manager {
 		staged:      make(map[string]*stageState),
 		open:        true,
 		started:     time.Now(),
+		tracer:      obs.NewTracer(opt.TraceCap, 0),
+		log:         opt.Logger,
 	}
+	if m.log == nil {
+		m.log = obs.NopLogger()
+	}
+	m.met = newMetricsSet(m)
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -196,6 +213,10 @@ func (m *Manager) Store() *pfs.PFS { return m.store }
 
 // Events exposes the per-job event bus backing /events and /stream.
 func (m *Manager) Events() *Bus { return m.events }
+
+// Registry exposes the metrics registry backing both GET /metrics (text
+// exposition) and the JSON /v1/metrics snapshot.
+func (m *Manager) Registry() *obs.Registry { return m.met.reg }
 
 // job returns the live job record for id.
 func (m *Manager) job(id string) (*Job, bool) {
@@ -293,9 +314,11 @@ func (m *Manager) observeRuntime(modelSec, wallSec float64) {
 	m.costMu.Unlock()
 }
 
-// recordWait adds one queue-wait observation for a priority class.
+// recordWait adds one queue-wait observation for a priority class: the
+// percentile ring behind /v1/metrics and the exposition histogram.
 func (m *Manager) recordWait(p Priority, d time.Duration) {
 	sec := d.Seconds()
+	m.met.queueWait.With(p.String()).Observe(sec)
 	m.waitMu.Lock()
 	defer m.waitMu.Unlock()
 	if len(m.waits[p]) < m.waitSamples {
@@ -332,6 +355,18 @@ func (m *Manager) settle(j *Job) {
 // / ErrCostBudget / ErrWorkingSet — callers should retry with backoff) and
 // against the client's rate quota (ErrQuota).
 func (m *Manager) Submit(spec Spec) (View, error) {
+	return m.SubmitWithTrace(spec, "")
+}
+
+// SubmitWithTrace is Submit carrying the caller's W3C traceparent header
+// value: a parseable header makes the job a child of the caller's trace
+// (one trace ID from SDK through router to backend); anything else mints a
+// fresh trace so every job is traceable regardless of the caller.
+func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
+	traceID, parentSpan, tpErr := api.ParseTraceParent(traceparent)
+	if tpErr != nil {
+		traceID, parentSpan = obs.NewTraceID(), ""
+	}
 	ph, cfg, err := compileSpec(spec)
 	if err != nil {
 		return View{}, err
@@ -342,7 +377,8 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		return View{}, err
 	}
 	if !m.takeToken(spec.Client) {
-		m.rejectedQuota.Add(1)
+		m.met.rejectedQuota.Inc()
+		m.log.Warn("job rejected", "reason", "quota", "client", spec.Client, "trace_id", traceID)
 		return View{}, fmt.Errorf("client %q: %w", spec.Client, ErrQuota)
 	}
 	cfg.InputPrefix = datasetPrefix(spec, cfg)
@@ -375,6 +411,8 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		estModelSec: est.RunSec,
 		estCost:     est.RunSec * m.scaleNow(),
 		estBytes:    est.WorkingSetBytes,
+		traceID:     traceID,
+		parentSpan:  parentSpan,
 	}
 	// A cached entry only satisfies a verify request if the run that
 	// produced it was itself verified; otherwise the job runs (and its
@@ -389,21 +427,25 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		j.result = e
 		m.jobs[j.ID] = j
 		m.order = append(m.order, j.ID)
-		m.cacheHits.Add(1)
+		m.met.cacheHits.Inc()
 		pruned := m.pruneLocked()
 		m.mu.Unlock()
-		// A cache hit still gets a (degenerate) event stream, so streaming
-		// clients see a uniform lifecycle regardless of where the volume
-		// came from.
+		// A cache hit still gets a (degenerate) event stream and trace, so
+		// streaming clients see a uniform lifecycle regardless of where the
+		// volume came from.
 		m.events.Publish(j.ID, Event{Type: EventQueued, State: StateQueued})
+		m.publishTrace(j)
 		m.publishTerminal(j.ID, Event{Type: EventDone, State: StateDone})
 		m.scrub(pruned)
+		m.log.Info("job served from cache", "job_id", j.ID, "trace_id", traceID, "client", spec.Client)
 		return j.snapshot(), nil
 	}
 	if m.opt.MaxInflightBytes > 0 && m.chargedJobs > 0 &&
 		m.inflightBytes+j.estBytes > m.opt.MaxInflightBytes {
 		m.mu.Unlock()
-		m.rejectedBytes.Add(1)
+		m.met.rejectedBytes.Inc()
+		m.log.Warn("job rejected", "reason", "working_set", "trace_id", traceID,
+			"est_bytes", j.estBytes)
 		return View{}, fmt.Errorf("job needs ~%d MiB against %d MiB in flight: %w",
 			j.estBytes>>20, m.opt.MaxInflightBytes>>20, ErrWorkingSet)
 	}
@@ -418,22 +460,27 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		j.charged = false
 		m.mu.Unlock()
 		m.events.Drop(j.ID) // never admitted: no stream to replay
+		reason := "queue_full"
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			m.rejectedFull.Add(1)
+			m.met.rejectedFull.Inc()
 		case errors.Is(err, ErrCostBudget):
-			m.rejectedCost.Add(1)
+			m.met.rejectedCost.Inc()
+			reason = "cost_budget"
 		}
+		m.log.Warn("job rejected", "reason", reason, "trace_id", traceID)
 		return View{}, err
 	}
 	m.inflightBytes += j.estBytes
 	m.chargedJobs++
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
-	m.admitted.Add(1)
+	m.met.admitted.Inc()
 	pruned := m.pruneLocked()
 	m.mu.Unlock()
 	m.scrub(pruned)
+	m.log.Info("job admitted", "job_id", j.ID, "trace_id", traceID,
+		"client", spec.Client, "priority", prio.String(), "est_cost_sec", j.estCost)
 	return j.snapshot(), nil
 }
 
@@ -456,11 +503,12 @@ func (m *Manager) pruneLocked() []string {
 	return pruned
 }
 
-// scrub deletes pruned jobs' output namespaces from the PFS and their event
-// streams from the bus.
+// scrub deletes pruned jobs' output namespaces from the PFS, their event
+// streams from the bus and their traces from the ring.
 func (m *Manager) scrub(ids []string) {
 	for _, id := range ids {
 		m.events.Drop(id)
+		m.tracer.Drop(id)
 		for _, path := range m.store.List("jobs/" + id + "/") {
 			m.store.Delete(path)
 		}
@@ -529,9 +577,11 @@ func (m *Manager) Cancel(id string) error {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		m.queue.Remove(id) // best-effort: a worker may have popped it already
-		m.cancelled.Add(1)
+		m.met.cancelled.Inc()
+		m.publishTrace(j)
 		m.publishTerminal(id, Event{Type: EventCancelled, State: StateCancelled, Error: "cancelled while queued"})
 		m.settle(j)
+		m.log.Info("job cancelled while queued", "job_id", id, "trace_id", j.traceID)
 		return nil
 	case StateRunning:
 		cancel := j.cancel
@@ -570,6 +620,7 @@ func (m *Manager) Delete(id string) error {
 		return fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
 	m.events.Drop(id)
+	m.tracer.Drop(id)
 	for _, path := range m.store.List("jobs/" + id + "/") {
 		m.store.Delete(path)
 	}
@@ -605,6 +656,8 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 	m.recordWait(j.Priority, waited)
 	m.events.Publish(j.ID, Event{Type: EventStarted, State: StateRunning})
+	m.log.Info("job started", "job_id", j.ID, "trace_id", j.traceID,
+		"wait_sec", waited.Seconds())
 
 	m.busy.Add(1)
 	entry, err := m.execute(ctx, j)
@@ -621,21 +674,32 @@ func (m *Manager) runJob(j *Job) {
 		j.times = entry.Times
 		j.relRMSE = entry.RelRMSE
 		j.verified = entry.Verified
-		m.completed.Add(1)
+		m.met.completed.Inc()
 	case ctx.Err() != nil:
 		j.state = StateCancelled
 		j.err = err.Error()
-		m.cancelled.Add(1)
+		m.met.cancelled.Inc()
 		terminal = Event{Type: EventCancelled, State: StateCancelled, Error: j.err}
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
-		m.failed.Add(1)
+		m.met.failed.Inc()
 		terminal = Event{Type: EventFailed, State: StateFailed, Error: j.err}
 	}
+	state, runSec := j.state, j.finished.Sub(j.started).Seconds()
 	j.mu.Unlock()
+	m.publishTrace(j)
 	m.publishTerminal(j.ID, terminal)
 	m.settle(j)
+	switch {
+	case err == nil:
+		m.met.observeStages(stagesOf(entry.Times))
+		m.log.Info("job finished", "job_id", j.ID, "trace_id", j.traceID,
+			"state", string(state), "run_sec", runSec)
+	default:
+		m.log.Error("job settled with error", "job_id", j.ID, "trace_id", j.traceID,
+			"state", string(state), "run_sec", runSec, "err", err.Error())
+	}
 	if err == nil {
 		// Calibrate against the pipeline's own stage clock (max over
 		// ranks), not submit-to-finish wall time: staging is paid only by
@@ -651,11 +715,22 @@ func (m *Manager) runJob(j *Job) {
 // reconstruction under the job's context, and optionally verifies the
 // volume against the serial FDK reference.
 func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
+	j.mu.Lock()
+	j.tStage0 = time.Now()
+	j.mu.Unlock()
 	if err := m.stageDataset(ctx, j); err != nil {
 		return nil, err
 	}
+	now := time.Now()
+	j.mu.Lock()
+	j.tStage1, j.tRun0 = now, now
+	j.mu.Unlock()
 	cfg := j.cfg
 	cfg.OutputPrefix = j.outPrefix()
+	// Per-round filter/AllGather timings feed the job's trace spans; the
+	// buffers are pre-sized per rank, so the compute plane stays
+	// allocation-free in steady state.
+	cfg.CollectRounds = true
 	cfg.Progress = func(done, total int) {
 		j.mu.Lock()
 		j.done, j.total = done, total
@@ -675,11 +750,22 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(res.Rounds) > 0 {
+		j.mu.Lock()
+		j.rounds = res.Rounds[0] // rank 0's clock stands in for the grid
+		j.mu.Unlock()
+	}
 	entry := &Entry{Volume: res.Volume, Times: res.Max, BytesSent: res.BytesSent}
 	if j.Spec.Verify {
+		j.mu.Lock()
+		j.tVerify0 = time.Now()
+		j.mu.Unlock()
 		if err := m.verifyAgainstSerial(ctx, j, entry); err != nil {
 			return nil, fmt.Errorf("verification: %w", err)
 		}
+		j.mu.Lock()
+		j.tVerify1 = time.Now()
+		j.mu.Unlock()
 	}
 	return entry, nil
 }
@@ -815,7 +901,7 @@ func (m *Manager) Metrics() Metrics {
 	inflight := m.inflightBytes
 	m.mu.Unlock()
 	up := time.Since(m.started).Seconds()
-	done := m.completed.Load()
+	done := m.met.completed.Value()
 	ps := m.store.Stats()
 	mt := Metrics{
 		UptimeSec:     up,
@@ -831,21 +917,22 @@ func (m *Manager) Metrics() Metrics {
 		CostScale:     m.scaleNow(),
 		Jobs:          states,
 		Completed:     done,
-		CacheHits:     m.cacheHits.Load(),
-		Failed:        m.failed.Load(),
-		Cancelled:     m.cancelled.Load(),
+		CacheHits:     m.met.cacheHits.Value(),
+		Failed:        m.met.failed.Value(),
+		Cancelled:     m.met.cancelled.Value(),
 		Admission: AdmissionStats{
-			Admitted:      m.admitted.Load(),
-			RejectedFull:  m.rejectedFull.Load(),
-			RejectedCost:  m.rejectedCost.Load(),
-			RejectedBytes: m.rejectedBytes.Load(),
-			RejectedQuota: m.rejectedQuota.Load(),
+			Admitted:      m.met.admitted.Value(),
+			RejectedFull:  m.met.rejectedFull.Value(),
+			RejectedCost:  m.met.rejectedCost.Value(),
+			RejectedBytes: m.met.rejectedBytes.Value(),
+			RejectedQuota: m.met.rejectedQuota.Value(),
 		},
 		WaitSec:    m.waitStats(),
 		Cache:      m.cache.Stats(),
 		PFSReadMB:  float64(ps.BytesRead) / (1 << 20),
 		PFSWriteMB: float64(ps.BytesWritten) / (1 << 20),
 		PFSObjects: ps.Objects,
+		EventDrops: m.events.Drops(),
 	}
 	if up > 0 {
 		mt.JobsPerSec = float64(done) / up

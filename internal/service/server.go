@@ -20,8 +20,10 @@ import (
 //	GET    /v1/jobs/{id}/events   lifecycle as SSE (resumable, Last-Event-ID)
 //	GET    /v1/jobs/{id}/stream   output slices as chunked multipart, live
 //	GET    /v1/jobs/{id}/slice/{z} axial slice z as PNG, as soon as written
+//	GET    /v1/jobs/{id}/trace    the job's assembled span tree (JSON)
 //	DELETE /v1/jobs/{id}          cancel a live job, or delete a terminal one
-//	GET    /v1/metrics            queue/pool/cache/storage counters
+//	GET    /v1/metrics            queue/pool/cache/storage counters (JSON)
+//	GET    /metrics               the same registry, Prometheus text exposition
 //	GET    /healthz               liveness
 //
 // Every non-2xx response body is the structured api.Error JSON envelope;
@@ -40,8 +42,10 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", s.slice)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.remove)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.Handle("GET /metrics", m.Registry().Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "node": m.opt.NodeID})
 	})
@@ -85,7 +89,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, api.CodeBadRequest, "bad spec: %v", err)
 		return
 	}
-	v, err := s.m.Submit(spec)
+	v, err := s.m.SubmitWithTrace(spec, r.Header.Get(api.TraceParentHeader))
 	switch {
 	case err != nil:
 		writeErr(w, submitCode(err), "%v", err)
@@ -192,4 +196,15 @@ func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Metrics())
+}
+
+// trace serves the job's assembled span tree: complete once the job has
+// settled, partial (Complete == false) while it is still in flight.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	t, err := s.m.TraceFor(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, api.CodeNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"ifdk/internal/core"
+	"ifdk/internal/obs"
+	"ifdk/pkg/api"
+)
+
+// Span assembly: one trace per job, spans derived once from the job record
+// and the compute plane's pre-sized per-round buffers — the pipeline itself
+// never allocates or records spans mid-run. Span IDs are derived
+// deterministically from (trace ID, span name), so a mid-run GET and the
+// final publication agree on every ID.
+
+// maxRoundSpans bounds the per-round children of the compute span so a
+// many-round job cannot balloon the trace; the omission is recorded as a
+// rounds_omitted attribute on the compute span.
+const maxRoundSpans = 96
+
+// traceState is the under-mutex copy of everything span assembly needs.
+type traceState struct {
+	traceID    string
+	parentSpan string
+	state      State
+	errStr     string
+	cacheHit   bool
+	priority   string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	times      core.StageTimes
+	tStage0    time.Time
+	tStage1    time.Time
+	tRun0      time.Time
+	rounds     []core.RoundTrace
+	tVerify0   time.Time
+	tVerify1   time.Time
+}
+
+func (j *Job) traceState() traceState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return traceState{
+		traceID:    j.traceID,
+		parentSpan: j.parentSpan,
+		state:      j.state,
+		errStr:     j.err,
+		cacheHit:   j.cacheHit,
+		priority:   j.Priority.String(),
+		submitted:  j.submitted,
+		started:    j.started,
+		finished:   j.finished,
+		times:      j.times,
+		tStage0:    j.tStage0,
+		tStage1:    j.tStage1,
+		tRun0:      j.tRun0,
+		rounds:     j.rounds,
+		tVerify0:   j.tVerify0,
+		tVerify1:   j.tVerify1,
+	}
+}
+
+// assembleSpans builds the job's span tree from its current state. It works
+// on live jobs too: spans whose operation has not ended yet carry a zero
+// End and report zero duration.
+func (m *Manager) assembleSpans(j *Job) []obs.Span {
+	ts := j.traceState()
+	sid := func(name string) string { return obs.DeriveSpanID(ts.traceID, name) }
+
+	root := obs.Span{
+		SpanID: sid("job"),
+		Parent: ts.parentSpan,
+		Name:   "job",
+		Start:  ts.submitted,
+		End:    ts.finished,
+		Attrs: []obs.Attr{
+			{Key: "job_id", Value: j.ID},
+			{Key: "node", Value: m.opt.NodeID},
+			{Key: "state", Value: string(ts.state)},
+			{Key: "priority", Value: ts.priority},
+			{Key: "cache_hit", Value: strconv.FormatBool(ts.cacheHit)},
+		},
+	}
+	if ts.errStr != "" {
+		root.Attrs = append(root.Attrs, obs.Attr{Key: "error", Value: ts.errStr})
+	}
+	spans := []obs.Span{root}
+
+	if ts.cacheHit {
+		spans = append(spans, obs.Span{
+			SpanID: sid("cache.hit"), Parent: root.SpanID, Name: "cache.hit",
+			Start: ts.submitted, End: ts.finished,
+		})
+		return spans
+	}
+
+	spans = append(spans, obs.Span{
+		SpanID: sid("queue.wait"), Parent: root.SpanID, Name: "queue.wait",
+		Start: ts.submitted, End: ts.started,
+	})
+	if !ts.tStage0.IsZero() {
+		spans = append(spans, obs.Span{
+			SpanID: sid("stage.dataset"), Parent: root.SpanID, Name: "stage.dataset",
+			Start: ts.tStage0, End: ts.tStage1,
+		})
+	}
+	if !ts.tRun0.IsZero() {
+		compute := obs.Span{
+			SpanID: sid("compute"), Parent: root.SpanID, Name: "compute",
+			Start: ts.tRun0,
+		}
+		if ts.times.Compute > 0 {
+			compute.End = ts.tRun0.Add(ts.times.Compute)
+		}
+		if omitted := len(ts.rounds) - maxRoundSpans; omitted > 0 {
+			compute.Attrs = append(compute.Attrs,
+				obs.Attr{Key: "rounds_omitted", Value: strconv.Itoa(omitted)})
+		}
+		spans = append(spans, compute)
+		for r, rt := range ts.rounds {
+			if r >= maxRoundSpans {
+				break
+			}
+			attr := []obs.Attr{{Key: "round", Value: strconv.Itoa(rt.Round)}}
+			spans = append(spans,
+				obs.Span{
+					SpanID: sid(fmt.Sprintf("filter.round.%d", rt.Round)), Parent: compute.SpanID,
+					Name:  "filter.round",
+					Start: ts.tRun0.Add(rt.FilterOff), End: ts.tRun0.Add(rt.FilterOff + rt.FilterDur),
+					Attrs: attr,
+				},
+				obs.Span{
+					SpanID: sid(fmt.Sprintf("allgather.round.%d", rt.Round)), Parent: compute.SpanID,
+					Name:  "allgather.round",
+					Start: ts.tRun0.Add(rt.GatherOff), End: ts.tRun0.Add(rt.GatherOff + rt.GatherDur),
+					Attrs: attr,
+				})
+		}
+		if ts.times.Backproject > 0 {
+			// Back-projection overlaps the filter/AllGather rounds inside
+			// the compute phase; its span records accumulated busy time
+			// (== StageTimes.Backproject), anchored at the phase start.
+			spans = append(spans, obs.Span{
+				SpanID: sid("backproject"), Parent: compute.SpanID, Name: "backproject",
+				Start: ts.tRun0, End: ts.tRun0.Add(ts.times.Backproject),
+				Attrs: []obs.Attr{{Key: "kind", Value: "busy"}},
+			})
+		}
+		if ts.times.Compute > 0 && ts.times.Reduce > 0 {
+			t0 := ts.tRun0.Add(ts.times.Compute)
+			spans = append(spans, obs.Span{
+				SpanID: sid("reduce"), Parent: root.SpanID, Name: "reduce",
+				Start: t0, End: t0.Add(ts.times.Reduce),
+			})
+			if ts.times.Store > 0 {
+				t1 := t0.Add(ts.times.Reduce)
+				spans = append(spans, obs.Span{
+					SpanID: sid("store"), Parent: root.SpanID, Name: "store",
+					Start: t1, End: t1.Add(ts.times.Store),
+				})
+			}
+		}
+	}
+	if !ts.tVerify0.IsZero() {
+		spans = append(spans, obs.Span{
+			SpanID: sid("verify"), Parent: root.SpanID, Name: "verify",
+			Start: ts.tVerify0, End: ts.tVerify1,
+		})
+	}
+	return spans
+}
+
+// publishTrace assembles a job's final span set, retains it in the bounded
+// tracer ring and announces its availability on the event bus. Called once,
+// just before the terminal event, on whichever goroutine settles the job.
+func (m *Manager) publishTrace(j *Job) {
+	t := m.tracer.Start(j.ID, j.traceID)
+	t.Add(m.assembleSpans(j)...)
+	t.Finish()
+	m.events.Publish(j.ID, Event{Type: EventTrace, TraceID: j.traceID})
+}
+
+// toAPISpans converts retained spans to the wire form.
+func toAPISpans(traceID, service string, spans []obs.Span) []api.Span {
+	out := make([]api.Span, len(spans))
+	for i, s := range spans {
+		w := api.Span{
+			TraceID:      traceID,
+			SpanID:       s.SpanID,
+			ParentSpanID: s.Parent,
+			Name:         s.Name,
+			Service:      service,
+			Start:        s.Start.UTC().Format(time.RFC3339Nano),
+			DurationSec:  s.Duration().Seconds(),
+		}
+		if len(s.Attrs) > 0 {
+			w.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				w.Attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// TraceFor returns the assembled trace of a job: the published span set for
+// a settled job (Complete), or a partial assembly from the live record for
+// one still in flight.
+func (m *Manager) TraceFor(id string) (api.Trace, error) {
+	j, ok := m.job(id)
+	if !ok {
+		return api.Trace{}, fmt.Errorf("job %q: %w", id, ErrNotFound)
+	}
+	if t, found := m.tracer.Get(id); found && t.Done() {
+		return api.Trace{
+			TraceID: t.ID(), Job: id, Complete: true,
+			Spans: toAPISpans(t.ID(), "ifdkd", t.Snapshot()),
+		}, nil
+	}
+	ts := j.traceState()
+	return api.Trace{
+		TraceID: ts.traceID, Job: id, Complete: false,
+		Spans: toAPISpans(ts.traceID, "ifdkd", m.assembleSpans(j)),
+	}, nil
+}

@@ -42,6 +42,7 @@ const (
 	EventStarted   = api.EventStarted
 	EventRound     = api.EventRound
 	EventSlice     = api.EventSlice
+	EventTrace     = api.EventTrace
 	EventDone      = api.EventDone
 	EventFailed    = api.EventFailed
 	EventCancelled = api.EventCancelled

@@ -65,6 +65,7 @@ type View struct {
 	EstRunSec float64 `json:"est_run_sec"` // raw Sec. 4.2 model runtime (model seconds, machine-independent)
 	Cost      float64 `json:"cost"`        // calibrated seconds charged against the queued-work budget
 	EstBytes  int64   `json:"est_bytes"`   // working set charged against the byte budget
+	TraceID   string  `json:"trace_id,omitempty"`
 	Stages    Stages  `json:"stages,omitempty"`
 }
 

@@ -8,6 +8,7 @@ const (
 	EventStarted   EventType = "started"   // a worker picked the job up
 	EventRound     EventType = "round"     // one AllGather round completed (coalesced)
 	EventSlice     EventType = "slice"     // one output z-slice landed on the PFS
+	EventTrace     EventType = "trace"     // the job's trace has been assembled and is fetchable
 	EventDone      EventType = "done"      // terminal: reconstruction finished
 	EventFailed    EventType = "failed"    // terminal: reconstruction errored
 	EventCancelled EventType = "cancelled" // terminal: cancelled by the client or shutdown
@@ -39,4 +40,7 @@ type Event struct {
 	// terminal / state-carrying events
 	State State  `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+
+	// trace availability (Type == EventTrace)
+	TraceID string `json:"trace_id,omitempty"`
 }

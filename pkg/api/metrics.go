@@ -53,6 +53,11 @@ type Metrics struct {
 	PFSReadMB     float64              `json:"pfs_read_mb"`
 	PFSWriteMB    float64              `json:"pfs_write_mb"`
 	PFSObjects    int                  `json:"pfs_objects"`
+	EventDrops    int64                `json:"event_drops"` // bus events discarded by bounded per-job logs
+
+	// Backends is filled only by a front router: per-backend health and
+	// probe/scrape latency alongside the aggregated counters above.
+	Backends []BackendHealth `json:"backends,omitempty"`
 }
 
 // BackendHealth is one backend's status in a router's GET /v1/backends
@@ -62,4 +67,11 @@ type BackendHealth struct {
 	URL   string `json:"url"`
 	Alive bool   `json:"alive"`
 	Jobs  int    `json:"jobs"` // jobs the router currently routes to it
+
+	// Probe/scrape observability (PR 6): consecutive health-probe failures
+	// (0 while alive), the last health probe's latency, and the last
+	// /v1/metrics scrape's latency.
+	ProbeFails      int     `json:"probe_fails"`
+	ProbeLatencyMS  float64 `json:"probe_latency_ms,omitempty"`
+	ScrapeLatencyMS float64 `json:"scrape_latency_ms,omitempty"`
 }

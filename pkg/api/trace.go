@@ -1,0 +1,96 @@
+package api
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Tracing wire contract. Every job carries one trace: the SDK mints the
+// trace ID at Submit, propagates it in a W3C-style `traceparent` request
+// header (https://www.w3.org/TR/trace-context/), the router adds its proxy
+// span and forwards, and the owning backend records the job's lifecycle
+// spans. GET /v1/jobs/{id}/trace returns the assembled Trace.
+
+// TraceParentHeader is the HTTP request header carrying trace context.
+const TraceParentHeader = "traceparent"
+
+// Span is one timed operation within a job's trace. Spans form a tree via
+// ParentSpanID; consumers must tolerate orphan parents (treat the span as a
+// root) so partial traces — e.g. a router span for a backend that died —
+// still render.
+type Span struct {
+	TraceID      string            `json:"trace_id"`
+	SpanID       string            `json:"span_id"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Name         string            `json:"name"`    // e.g. "job", "queue.wait", "filter.round"
+	Service      string            `json:"service"` // "router" | "ifdkd" | "client"
+	Start        string            `json:"start"`   // RFC3339Nano
+	DurationSec  float64           `json:"duration_sec"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is the response of GET /v1/jobs/{id}/trace: the flat span list for
+// one job. Complete is false while the job is still running (spans cover
+// only what has happened so far) and true once the terminal span set has
+// been published.
+type Trace struct {
+	TraceID  string `json:"trace_id"`
+	Job      string `json:"job"`
+	Complete bool   `json:"complete"`
+	Spans    []Span `json:"spans"`
+}
+
+// NewTraceID returns a fresh random 32-hex-digit trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh random 16-hex-digit span ID.
+func NewSpanID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// FormatTraceParent renders the traceparent header value for the given
+// trace and parent span: version 00, sampled flag set.
+func FormatTraceParent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceParent extracts the trace and parent-span IDs from a
+// traceparent header value. It accepts any version and ignores the flags;
+// malformed or all-zero IDs yield an error so callers fall back to minting
+// a fresh trace.
+func ParseTraceParent(s string) (traceID, spanID string, err error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return "", "", fmt.Errorf("api: traceparent %q: want version-traceid-spanid-flags", s)
+	}
+	traceID, spanID = strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if !isHex(traceID, 32) || allZero(traceID) {
+		return "", "", fmt.Errorf("api: traceparent %q: bad trace id", s)
+	}
+	if !isHex(spanID, 16) || allZero(spanID) {
+		return "", "", fmt.Errorf("api: traceparent %q: bad span id", s)
+	}
+	return traceID, spanID, nil
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool { return strings.Trim(s, "0") == "" }

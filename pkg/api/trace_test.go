@@ -1,0 +1,48 @@
+package api
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(tid) {
+		t.Fatalf("trace ID %q is not 32 hex chars", tid)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(sid) {
+		t.Fatalf("span ID %q is not 16 hex chars", sid)
+	}
+	hdr := FormatTraceParent(tid, sid)
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent %q is not version 00 / sampled", hdr)
+	}
+	gotT, gotS, err := ParseTraceParent(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT != tid || gotS != sid {
+		t.Fatalf("round trip: got (%s, %s), want (%s, %s)", gotT, gotS, tid, sid)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"nonsense",
+		"00-short-abcdefabcdefabcd-01",
+		"00-" + strings.Repeat("0", 32) + "-abcdefabcdefabcd-01",                // all-zero trace
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span
+		"00-" + strings.Repeat("g", 32) + "-abcdefabcdefabcd-01",                // not hex
+	} {
+		if _, _, err := ParseTraceParent(bad); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted", bad)
+		}
+	}
+	// Future versions and trailing fields are tolerated.
+	tid, sid := NewTraceID(), NewSpanID()
+	if _, _, err := ParseTraceParent("cc-" + tid + "-" + sid + "-01-extra"); err != nil {
+		t.Errorf("future-version traceparent rejected: %v", err)
+	}
+}

@@ -15,6 +15,10 @@
 // into a volume with exactly-once slice accounting and transparent
 // per-part gzip decoding. All failures carry *api.Error where the server
 // sent one, so callers branch on stable codes with errors.As.
+//
+// Every Submit carries W3C trace context (a traceparent header with a fresh
+// trace ID, or the caller's own via SubmitTraced); Trace returns the job's
+// assembled span tree, router hop included.
 package client
 
 import (
@@ -141,8 +145,9 @@ func decodeError(resp *http.Response) error {
 }
 
 // doJSON performs one request and decodes a 2xx JSON body into out (when
-// non-nil). Non-2xx responses become errors via decodeError.
-func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+// non-nil). Extra request headers come from hdr (may be nil). Non-2xx
+// responses become errors via decodeError.
+func (c *Client) doJSON(ctx context.Context, method, path string, hdr map[string]string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		blob, err := json.Marshal(in)
@@ -157,6 +162,9 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -175,11 +183,28 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 
 // Submit sends a reconstruction spec, retrying retryable saturation codes
 // with jittered backoff, and returns the accepted (or cache-hit) job view.
+// Every submission carries W3C trace context: Submit mints a fresh trace ID
+// and client root span (the returned View.TraceID echoes the trace; follow
+// it with Trace). To join an existing trace, use SubmitTraced.
 func (c *Client) Submit(ctx context.Context, spec api.Spec) (api.View, error) {
+	return c.SubmitTraced(ctx, spec, api.FormatTraceParent(api.NewTraceID(), api.NewSpanID()))
+}
+
+// SubmitTraced is Submit under a caller-supplied W3C traceparent
+// ("00-<32 hex trace>-<16 hex span>-01", see api.FormatTraceParent), so the
+// job's spans nest into a trace the caller already owns. An empty
+// traceparent submits without trace context and lets the service mint the
+// trace ID. Retries reuse the same traceparent: they are one logical
+// request.
+func (c *Client) SubmitTraced(ctx context.Context, spec api.Spec, traceparent string) (api.View, error) {
+	var hdr map[string]string
+	if traceparent != "" {
+		hdr = map[string]string{api.TraceParentHeader: traceparent}
+	}
 	var v api.View
 	var lastErr error
 	for attempt := 1; attempt <= c.retry.Max; attempt++ {
-		lastErr = c.doJSON(ctx, http.MethodPost, "/v1/jobs", spec, &v)
+		lastErr = c.doJSON(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &v)
 		if lastErr == nil {
 			return v, nil
 		}
@@ -203,29 +228,38 @@ func (c *Client) Submit(ctx context.Context, spec api.Spec) (api.View, error) {
 // Get returns one job's current view.
 func (c *Client) Get(ctx context.Context, id string) (api.View, error) {
 	var v api.View
-	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &v)
 	return v, err
 }
 
 // List returns all jobs in submission order.
 func (c *Client) List(ctx context.Context) ([]api.View, error) {
 	var vs []api.View
-	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &vs)
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, nil, &vs)
 	return vs, err
 }
 
 // Cancel stops a live job or deletes a terminal one (the server's DELETE
 // verb is race-free across that distinction).
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, nil)
 }
 
 // Metrics returns the service (or, through a router, fleet-aggregate)
 // counters snapshot.
 func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
 	var m api.Metrics
-	err := c.doJSON(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	err := c.doJSON(ctx, http.MethodGet, "/v1/metrics", nil, nil, &m)
 	return m, err
+}
+
+// Trace returns the job's span tree: complete once the job has settled,
+// partial (Trace.Complete == false) while it is still queued or running.
+// Through a router the tree includes the router's proxy span.
+func (c *Client) Trace(ctx context.Context, id string) (api.Trace, error) {
+	var t api.Trace
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, nil, &t)
+	return t, err
 }
 
 // Await polls a job to a terminal state and returns its final view. For

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"ifdk/internal/service"
+	"ifdk/pkg/api"
+)
+
+// Submit must stamp a valid traceparent the service adopts: the returned
+// View carries the SDK-minted trace ID, and Trace returns the settled
+// lifecycle tree under that same ID.
+func TestSubmitMintsTraceAndTraceFollows(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 2})
+	c := New(ts.URL)
+	ctx := testCtx(t)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID == "" || len(v.TraceID) != 32 {
+		t.Fatalf("view trace_id = %q, want an SDK-minted 32-hex trace ID", v.TraceID)
+	}
+	if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Trace(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != v.TraceID {
+		t.Fatalf("trace id %q != view trace_id %q", tr.TraceID, v.TraceID)
+	}
+	if tr.Job != v.ID || !tr.Complete {
+		t.Fatalf("trace = {job %q complete %v}, want settled trace of %q", tr.Job, tr.Complete, v.ID)
+	}
+	names := map[string]bool{}
+	for _, s := range tr.Spans {
+		if s.TraceID != v.TraceID {
+			t.Fatalf("span %s under trace %q, want %q", s.Name, s.TraceID, v.TraceID)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"job", "queue.wait", "compute", "backproject", "reduce", "store"} {
+		if !names[want] {
+			t.Errorf("span %q missing from %v", want, names)
+		}
+	}
+}
+
+// SubmitTraced passes the caller's traceparent through verbatim, so the
+// job joins a trace the caller already owns.
+func TestSubmitTracedJoinsCallerTrace(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 2})
+	c := New(ts.URL)
+	ctx := testCtx(t)
+
+	traceID, spanID := api.NewTraceID(), api.NewSpanID()
+	v, err := c.SubmitTraced(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32},
+		api.FormatTraceParent(traceID, spanID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != traceID {
+		t.Fatalf("view trace_id = %q, want caller's %q", v.TraceID, traceID)
+	}
+	if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Trace(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Spans {
+		if s.Name == "job" && s.ParentSpanID != spanID {
+			t.Fatalf("job span parent %q, want the caller span %q", s.ParentSpanID, spanID)
+		}
+	}
+}
+
+// Trace on an unknown job surfaces the stable not_found code.
+func TestTraceNotFound(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 1})
+	c := New(ts.URL)
+	_, err := c.Trace(testCtx(t), "nope")
+	apiErr, ok := asAPIError(err)
+	if !ok || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("Trace(unknown) = %v, want api.Error{not_found}", err)
+	}
+}
