@@ -43,6 +43,7 @@ import (
 
 	_ "net/http/pprof"
 
+	"ifdk/internal/ct/kernels"
 	"ifdk/internal/hpc/pfs"
 	"ifdk/internal/obs"
 	"ifdk/internal/service"
@@ -61,6 +62,10 @@ func main() {
 	aging := flag.Duration("aging", 15*time.Second,
 		"queued-job priority aging: wait per one-class priority boost (0 disables)")
 	cacheMB := flag.Int64("cache-mb", 1024, "result cache budget in MiB (<= 0 disables)")
+	kernelMode := flag.String("kernels", "auto",
+		"row-kernel implementation: fast (vectorizable), ref (scalar reference escape hatch), auto (= fast)")
+	filterBatch := flag.Duration("filter-batch", 200*time.Microsecond,
+		"coalescing window for cross-job shared filter sweeps (0 disables batching)")
 	eventLog := flag.Int("event-log", 0,
 		"retained events per job for /events resume and /stream replay (0 = default 1024)")
 	node := flag.String("node", "",
@@ -79,15 +84,21 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, obs.NewLoggerOptions{JSON: *logJSON, Level: level}, "ifdkd", *node)
 
+	if err := kernels.SetMode(*kernelMode); err != nil {
+		fmt.Fprintf(os.Stderr, "ifdkd: bad -kernels %q (want fast, ref or auto)\n", *kernelMode)
+		os.Exit(2)
+	}
+
 	opt := service.Options{
-		Workers:          *workers,
-		QueueCap:         *queueCap,
-		MaxQueuedSec:     *maxQueuedSec,
-		MaxInflightBytes: *maxInflightMB << 20,
-		QuotaRPS:         *quotaRPS,
-		EventLogCap:      *eventLog,
-		NodeID:           *node,
-		Logger:           logger,
+		Workers:           *workers,
+		QueueCap:          *queueCap,
+		MaxQueuedSec:      *maxQueuedSec,
+		MaxInflightBytes:  *maxInflightMB << 20,
+		QuotaRPS:          *quotaRPS,
+		EventLogCap:       *eventLog,
+		NodeID:            *node,
+		Logger:            logger,
+		FilterBatchWindow: *filterBatch,
 	}
 	if *aging <= 0 {
 		opt.Aging = -1 // disabled (0 in Options means "default")
@@ -135,7 +146,8 @@ func run(addr, debugAddr string, opt service.Options, drain time.Duration, logge
 		logger.Info("serving",
 			"addr", addr, "workers", opt.Workers, "queue", opt.QueueCap,
 			"budget_sec", opt.MaxQueuedSec, "budget_mib", opt.MaxInflightBytes>>20,
-			"quota_rps", opt.QuotaRPS, "aging", agingDesc)
+			"quota_rps", opt.QuotaRPS, "aging", agingDesc,
+			"filter_batch", opt.FilterBatchWindow.String(), "kernels", kernels.Mode())
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// RecordEnv names the environment variable that, when set, makes Record
+// append machine-readable benchmark results to the named file. CI points it
+// at BENCH_kernels.json so successive PRs accumulate a regression
+// trajectory; when unset (the default for local `go test -bench`), Record is
+// a no-op.
+const RecordEnv = "IFDK_BENCH_OUT"
+
+var recordMu sync.Mutex
+
+// Record appends one JSON line {"bench": name, "unix": t, ...metrics} to
+// $IFDK_BENCH_OUT. Failures are silently ignored: trajectory capture must
+// never fail a benchmark run.
+func Record(name string, metrics map[string]float64) {
+	path := os.Getenv(RecordEnv)
+	if path == "" {
+		return
+	}
+	rec := make(map[string]any, len(metrics)+2)
+	rec["bench"] = name
+	rec["unix"] = time.Now().Unix()
+	for k, v := range metrics {
+		rec[k] = v
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	recordMu.Lock()
+	defer recordMu.Unlock()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write(append(line, '\n'))
+}

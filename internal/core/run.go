@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"ifdk/internal/ct/backproject"
-	"ifdk/internal/ct/filter"
 	"ifdk/internal/ct/geometry"
 	"ifdk/internal/engine"
 	"ifdk/internal/hpc/mpi"
@@ -156,10 +155,11 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 	go func() {
 		filterErr <- func() error {
 			defer ringA.Close()
-			flt, err := filter.Cached(g, cfg.Window)
+			flt, err := cfg.rowFilter()
 			if err != nil {
 				return err
 			}
+			defer flt.Close()
 			for s := myLo; s < myHi; s++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -173,7 +173,8 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				}
 				t.Load += time.Since(loadStart)
 				fltStart := time.Now()
-				if err := flt.ApplyInto(img, img); err != nil {
+				batch, err := flt.Filter(ctx, img)
+				if err != nil {
 					engine.Images.Release(img)
 					return err
 				}
@@ -181,6 +182,7 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 				if rounds != nil {
 					rounds[s-myLo].FilterOff = roundOff
 					rounds[s-myLo].FilterDur = time.Since(start) - roundOff
+					rounds[s-myLo].BatchSize = batch
 				}
 				if !ringA.Put(projItem{s: s, img: img}) {
 					engine.Images.Release(img)
@@ -334,20 +336,30 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 	t.Compute = time.Since(start)
 
 	// --- Epilogue (Fig. 4b): reduce the row's partial volumes, store the
-	// output slices, optionally assemble the full volume at rank 0.
+	// output slices, optionally assemble the full volume at rank 0. The
+	// whole epilogue runs on pooled collective blocks: ReduceBufs hands the
+	// row root a pooled accumulator, which is either released here or its
+	// ownership transferred to rank 0 via SendBuf — no per-job heap copies.
 	redStart := time.Now()
-	red, err := rowComm.Reduce(0, local.Data, mpi.OpSum)
-	// Reduce copies the payload into its own accumulator, so the pooled
+	red, err := rowComm.ReduceBufs(0, local.Data, mpi.OpSum)
+	// ReduceBufs copies the payload into its own pooled accumulator, so the
 	// slab pair goes back for the next job regardless of the outcome.
 	engine.Volumes.Release(local)
 	if err != nil {
 		return t, nil, nil, err
 	}
+	// Only the row root holds a block; release it on every exit path unless
+	// its ownership has been handed off (red set to nil below).
+	defer func() {
+		if red != nil {
+			red.Release()
+		}
+	}()
 	t.Reduce = time.Since(redStart)
 
 	var full *volume.Volume
 	if rowComm.Rank() == 0 { // row root (grid column 0)
-		reduced := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * h, Layout: volume.KMajor, Data: red}
+		reduced := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * h, Layout: volume.KMajor, Data: red.Data}
 		if cfg.OutputPrefix != "" {
 			storeStart := time.Now()
 			planes := backproject.SlabPlanes(g.Nz, z0, z1)
@@ -372,18 +384,25 @@ func runRank(ctx context.Context, cfg Config, store *pfs.PFS, c *mpi.Comm, tick 
 					return t, nil, nil, err
 				}
 				for otherRow := 1; otherRow < cfg.R; otherRow++ {
-					data, err := c.Recv(RankID(otherRow, 0, cfg.R), tagAssemble)
+					blk, err := c.RecvBuf(RankID(otherRow, 0, cfg.R), tagAssemble)
 					if err != nil {
 						return t, nil, nil, err
 					}
 					oz0, oz1 := RowSlab(otherRow, g.Nz, cfg.R)
-					part := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * (oz1 - oz0), Layout: volume.KMajor, Data: data}
-					if err := backproject.SlabPairToGlobal(part, full, g.Nz, oz0, oz1); err != nil {
+					part := &volume.Volume{Nx: g.Nx, Ny: g.Ny, Nz: 2 * (oz1 - oz0), Layout: volume.KMajor, Data: blk.Data}
+					err = backproject.SlabPairToGlobal(part, full, g.Nz, oz0, oz1)
+					blk.Release()
+					if err != nil {
 						return t, nil, nil, err
 					}
 				}
 			} else {
-				if err := c.Send(0, tagAssemble, red); err != nil {
+				// SendBuf transfers ownership of the reduced block to rank 0's
+				// mailbox zero-copy — clear red first so the deferred release
+				// does not double-free it.
+				blk := red
+				red = nil
+				if err := c.SendBuf(0, tagAssemble, blk); err != nil {
 					return t, nil, nil, err
 				}
 			}

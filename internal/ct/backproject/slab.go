@@ -3,7 +3,7 @@ package backproject
 import (
 	"fmt"
 
-	"ifdk/internal/ct/interp"
+	"ifdk/internal/ct/kernels"
 	"ifdk/internal/engine"
 	"ifdk/internal/volume"
 )
@@ -38,6 +38,7 @@ func ProposedSlabPair(task Task, vol *volume.Volume, opt Options, nzFull, z0, z1
 	}
 	nx, ny := vol.Nx, vol.Ny
 	w, ht := task.Proj[0].W, task.Proj[0].H
+	vm1 := float32(ht - 1)
 	batch := opt.batch()
 	for s0 := 0; s0 < len(task.Proj); s0 += batch {
 		s1 := min(s0+batch, len(task.Proj))
@@ -46,40 +47,32 @@ func ProposedSlabPair(task Task, vol *volume.Volume, opt Options, nzFull, z0, z1
 		nb := s1 - s0
 		engine.ParallelRange(ny, opt.Workers, func(j0, j1 int) {
 			regs, us, fs, ws := acquireRegs(nb)
+			lines := colPool.Acquire(2 * h)
+			sum, sym := lines.Data[:h], lines.Data[h:]
 			for j := j0; j < j1; j++ {
 				fj := float32(j)
 				for i := 0; i < nx; i++ {
 					fi := float32(i)
+					kernels.ColumnGeom(us, fs, ws, rows, fi, fj)
+					clear(sum)
+					clear(sym)
 					for t := range rows {
 						r := &rows[t]
-						x := r[0][0]*fi + r[0][1]*fj + r[0][3]
-						z := r[2][0]*fi + r[2][1]*fj + r[2][3]
-						f := 1 / z
-						us[t] = x * f
-						fs[t] = f
-						ws[t] = f * f
+						yb := r[1][0]*fi + r[1][1]*fj
+						kernels.AccumLinePair(sum, sym, data[t], ht, w,
+							us[t], fs[t], ws[t], yb, r[1][2], r[1][3], vm1, z0)
 					}
 					base := (i*ny + j) * vol.Nz
-					for k := z0; k < z1; k++ {
-						fk := float32(k)
-						var sum, sumSym float32
-						for t := range rows {
-							r := &rows[t]
-							u, f, wdis := us[t], fs[t], ws[t]
-							y := r[1][0]*fi + r[1][1]*fj + r[1][2]*fk + r[1][3]
-							v := y * f
-							vSym := float32(ht-1) - v
-							sum += wdis * interp.Bilinear(data[t], ht, w, v, u)
-							sumSym += wdis * interp.Bilinear(data[t], ht, w, vSym, u)
-						}
-						// Lower slab: local plane k-z0.
-						vol.Data[base+k-z0] += sum
-						// Upper slab ascending: global Nz-1-k is local
-						// h + (Nz-1-k - (Nz-z1)) = h + z1-1-k.
-						vol.Data[base+h+z1-1-k] += sumSym
+					for kk := 0; kk < h; kk++ {
+						// Lower slab: local plane k-z0 = kk. Upper slab
+						// ascending: global Nz-1-k is local
+						// h + (Nz-1-k - (Nz-z1)) = h + z1-1-k = 2h-1-kk.
+						vol.Data[base+kk] += sum[kk]
+						vol.Data[base+2*h-1-kk] += sym[kk]
 					}
 				}
 			}
+			lines.Release()
 			regs.Release()
 		})
 		bufs.release()

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"ifdk/internal/ct/geometry"
+	"ifdk/internal/ct/kernels"
 	"ifdk/internal/engine"
 	"ifdk/internal/fft"
 	"ifdk/internal/volume"
@@ -243,17 +244,12 @@ func (f *Filterer) ApplyInto(e, q *volume.Image) error {
 
 // filterRowRFFT is the hot path: cosine-weight the row, transform with the
 // half-spectrum real plan, scale each bin by the real ramp gain, transform
-// back. All arithmetic is float32.
+// back. All arithmetic is float32; the O(Nu) loops are kernels calls.
 func (f *Filterer) filterRowRFFT(in, cos, out, row []float32, spec []complex64) {
-	for u := range in {
-		row[u] = in[u] * cos[u] // point-wise ·F_cos
-	}
+	kernels.CosineWeight(row, in, cos) // point-wise ·F_cos
 	clear(row[len(in):])
 	f.rplan.Forward(spec, row)
-	for k, g := range f.spec32 {
-		v := spec[k]
-		spec[k] = complex(real(v)*g, imag(v)*g)
-	}
+	kernels.SpectralMul(spec, f.spec32)
 	f.rplan.Inverse(row, spec)
 	copy(out, row[:len(out)])
 }
@@ -292,32 +288,61 @@ func (f *Filterer) filterRow(in, cos, out []float32, buf []complex128) {
 	}
 }
 
+// Sweep filters every projection of ins into the matching entry of outs in
+// one shared pass: all rows of all projections form a single flat index
+// space scheduled as one engine.ParallelRange, so N co-scheduled projections
+// (from one job's batch or from several co-resident jobs sharing this
+// memoized plan) cost one sweep over the cosine table and ramp spectrum
+// instead of N. workers 0 means GOMAXPROCS. outs[i] may be ins[i] (rows are
+// staged through pooled scratch, as in ApplyInto). Dimensions are validated
+// up front; nothing is written when an error is returned. Steady state
+// allocates nothing beyond the scheduler's pooled job descriptors.
+func (f *Filterer) Sweep(ins, outs []*volume.Image, workers int) error {
+	if len(ins) != len(outs) {
+		return fmt.Errorf("filter: sweep over %d inputs with %d outputs", len(ins), len(outs))
+	}
+	for n, e := range ins {
+		if e.W != f.g.Nu || e.H != f.g.Nv {
+			return fmt.Errorf("filter: projection %d is %dx%d, does not match geometry %dx%d",
+				n, e.W, e.H, f.g.Nu, f.g.Nv)
+		}
+		if q := outs[n]; q.W != e.W || q.H != e.H {
+			return fmt.Errorf("filter: output %d is %dx%d, does not match projection %dx%d",
+				n, q.W, q.H, e.W, e.H)
+		}
+	}
+	nv := f.g.Nv
+	engine.ParallelRange(len(ins)*nv, workers, func(lo, hi int) {
+		row := rowPool.Acquire(f.l)
+		spec := specPool.Acquire(f.l/2 + 1)
+		for idx := lo; idx < hi; idx++ {
+			e, q, v := ins[idx/nv], outs[idx/nv], idx%nv
+			f.filterRowRFFT(e.Row(v), f.cosTab.Row(v), q.Row(v), row.Data, spec.Data)
+		}
+		spec.Release()
+		row.Release()
+	})
+	return nil
+}
+
 // ApplyBatch filters a batch of projections with the given number of worker
 // goroutines (0 means GOMAXPROCS), mirroring the OpenMP parallel filtering
-// inside each rank's Filtering-thread (Sec. 4.1.3). Scheduling delegates to
-// the shared engine pool and the result order matches the input order. The
-// outputs are acquired from engine.Images: callers that are done with them
-// may hand them back via engine.Images.Release (optional — an output that
-// escapes simply becomes ordinary garbage).
+// inside each rank's Filtering-thread (Sec. 4.1.3). It is Sweep with
+// pool-acquired outputs: scheduling is the shared row sweep and the result
+// order matches the input order. The outputs are acquired from
+// engine.Images: callers that are done with them may hand them back via
+// engine.Images.Release (optional — an output that escapes simply becomes
+// ordinary garbage).
 func (f *Filterer) ApplyBatch(imgs []*volume.Image, workers int) ([]*volume.Image, error) {
 	out := make([]*volume.Image, len(imgs))
-	errs := make([]error, len(imgs))
-	engine.ParallelEach(len(imgs), workers, func(i int) {
-		q := engine.Images.Acquire(f.g.Nu, f.g.Nv)
-		if err := f.ApplyInto(imgs[i], q); err != nil {
+	for i := range out {
+		out[i] = engine.Images.Acquire(f.g.Nu, f.g.Nv)
+	}
+	if err := f.Sweep(imgs, out, workers); err != nil {
+		for _, q := range out {
 			engine.Images.Release(q)
-			errs[i] = err
-			return
 		}
-		out[i] = q
-	})
-	for _, err := range errs {
-		if err != nil {
-			for _, q := range out {
-				engine.Images.Release(q) // nil-safe
-			}
-			return nil, err
-		}
+		return nil, err
 	}
 	return out, nil
 }

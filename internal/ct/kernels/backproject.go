@@ -1,0 +1,144 @@
+package kernels
+
+import "ifdk/internal/ct/interp"
+
+// Back-projection kernels for the proposed algorithm (Alg. 4) on transposed
+// projections. The surrounding loop structure lives in internal/ct/backproject;
+// what lives here is the per-(i,j)-column work:
+//
+//   - ColumnGeom: the two inner products per projection that are independent
+//     of k (Theorems 2+3 — u, 1/z and the distance weight),
+//   - AccumLinePair: the per-voxel inner product and bilinear fetch for one
+//     projection along a full vertical voxel line and its Theorem-1 mirror.
+//
+// AccumLinePair is where the transpose pays off: for a fixed projection t
+// the detector row index is floor(u) — constant along the voxel line — so
+// the fast path hoists the two detector rows once and walks them stride-1
+// as v advances, with no per-sample bounds checks. Samples whose v lands on
+// the detector border (or is NaN/Inf) are delegated to interp.Bilinear, the
+// reference sampler, so edge and non-finite semantics are exactly those of
+// the reference kernel.
+
+// ColumnGeom fills the per-projection column registers (Listing 1's U, Z and
+// W_dis registers) for voxel column (fi, fj): for each projection t,
+//
+//	x := r[0][0]·fi + r[0][1]·fj + r[0][3]
+//	z := r[2][0]·fi + r[2][1]·fj + r[2][3]
+//	us[t], fs[t], ws[t] = x/z, 1/z, 1/z²
+//
+// us, fs and ws must be at least len(rows) long.
+func ColumnGeom(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
+	if fastEnabled.Load() {
+		columnGeomFast(us, fs, ws, rows, fi, fj)
+		return
+	}
+	ColumnGeomRef(us, fs, ws, rows, fi, fj)
+}
+
+// ColumnGeomRef is the scalar reference for ColumnGeom.
+func ColumnGeomRef(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
+	for t := range rows {
+		r := &rows[t]
+		x := r[0][0]*fi + r[0][1]*fj + r[0][3]
+		z := r[2][0]*fi + r[2][1]*fj + r[2][3]
+		f := 1 / z
+		us[t] = x * f
+		fs[t] = f
+		ws[t] = f * f
+	}
+}
+
+func columnGeomFast(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
+	n := len(rows)
+	us = us[:n]
+	fs = fs[:n]
+	ws = ws[:n]
+	for t := range rows {
+		r := &rows[t]
+		x := r[0][0]*fi + r[0][1]*fj + r[0][3]
+		z := r[2][0]*fi + r[2][1]*fj + r[2][3]
+		f := 1 / z
+		us[t] = x * f
+		fs[t] = f
+		ws[t] = f * f
+	}
+}
+
+// AccumLinePair accumulates one projection's contribution to a vertical
+// voxel line and its Theorem-1 mirror. proj is a transposed projection laid
+// out rw×rh (rw = original detector height Nv as the fast axis, rh = Nu
+// rows); u, f and wdis are the column-constant registers from ColumnGeom;
+// yb carries the k-independent part r[1][0]·fi + r[1][1]·fj of the y inner
+// product and ry2, ry3 its fk coefficient and constant; vm1 = float32(Nv-1)
+// is the Theorem-1 mirror pivot. For each kk < len(sum), with
+// fk = float32(k0+kk):
+//
+//	v    := (yb + ry2·fk + ry3)·f
+//	sum[kk] += wdis·proj(v, u)     // bilinear, V fast axis
+//	sym[kk] += wdis·proj(vm1-v, u)
+//
+// len(sym) must equal len(sum).
+func AccumLinePair(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
+	if fastEnabled.Load() {
+		accumLinePairFast(sum, sym, proj, rw, rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
+		return
+	}
+	AccumLinePairRef(sum, sym, proj, rw, rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
+}
+
+// AccumLinePairRef is the scalar reference for AccumLinePair: the loop body
+// is exactly the pre-kernel per-voxel code, one interp.Bilinear call per
+// sample.
+func AccumLinePairRef(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
+	for kk := range sum {
+		fk := float32(k0 + kk)
+		y := yb + ry2*fk + ry3
+		v := y * f
+		vSym := vm1 - v
+		sum[kk] += wdis * interp.Bilinear(proj, rw, rh, v, u)
+		sym[kk] += wdis * interp.Bilinear(proj, rw, rh, vSym, u)
+	}
+}
+
+func accumLinePairFast(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
+	// The fast path needs both detector rows floor(u) and floor(u)+1 fully
+	// inside the projection; border columns (and NaN u, which fails the
+	// positive comparison) keep the reference path.
+	if !(u >= 0 && u < float32(rh-1)) {
+		AccumLinePairRef(sum, sym, proj, rw, rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
+		return
+	}
+	nu := int(u) // u ≥ 0, so truncation is floor
+	du := u - float32(nu)
+	row0 := proj[nu*rw : (nu+1)*rw : (nu+1)*rw]
+	row1 := proj[(nu+1)*rw : (nu+2)*rw : (nu+2)*rw]
+	vMax := float32(rw - 1)
+	sym = sym[:len(sum)]
+	for kk := range sum {
+		fk := float32(k0 + kk)
+		y := yb + ry2*fk + ry3
+		v := y * f
+		vSym := vm1 - v
+		var a, b float32
+		if v >= 0 && v < vMax {
+			nv := int(v)
+			dv := v - float32(nv)
+			t1 := row0[nv]*(1-dv) + row0[nv+1]*dv
+			t2 := row1[nv]*(1-dv) + row1[nv+1]*dv
+			a = t1*(1-du) + t2*du
+		} else {
+			a = interp.Bilinear(proj, rw, rh, v, u)
+		}
+		if vSym >= 0 && vSym < vMax {
+			nv := int(vSym)
+			dv := vSym - float32(nv)
+			t1 := row0[nv]*(1-dv) + row0[nv+1]*dv
+			t2 := row1[nv]*(1-dv) + row1[nv+1]*dv
+			b = t1*(1-du) + t2*du
+		} else {
+			b = interp.Bilinear(proj, rw, rh, vSym, u)
+		}
+		sum[kk] += wdis * a
+		sym[kk] += wdis * b
+	}
+}

@@ -1,0 +1,156 @@
+package kernels_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ifdk/internal/bench"
+	"ifdk/internal/ct/kernels"
+)
+
+// Benchmarks for every fast/ref kernel pair at the shapes the pipeline
+// actually runs (Nu = 512 geometry: 1024-point padded rows, 512-point
+// half transforms, 512² transposed projections). Results are appended to
+// $IFDK_BENCH_OUT as JSON lines via bench.Record so CI accumulates a
+// cross-PR regression trajectory.
+
+func record(b *testing.B, bytesPerOp int64) {
+	b.SetBytes(bytesPerOp)
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	bench.Record(b.Name(), map[string]float64{
+		"ns_per_op": nsPerOp,
+		"mb_per_s":  float64(bytesPerOp) / nsPerOp * 1e9 / 1e6,
+	})
+}
+
+func randF32(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+func randC64(rng *rand.Rand, n int) []complex64 {
+	out := make([]complex64, n)
+	for i := range out {
+		out[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return out
+}
+
+// withMode runs the body with the process-wide kernel mode pinned.
+func withMode(b *testing.B, mode string, body func(*testing.B)) {
+	if err := kernels.SetMode(mode); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { kernels.SetMode("fast") })
+	body(b)
+}
+
+func BenchmarkKernelsCosineWeight(b *testing.B) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(1))
+	src, cos, dst := randF32(rng, n), randF32(rng, n), make([]float32, n)
+	for _, mode := range []string{"ref", "fast"} {
+		b.Run(mode, func(b *testing.B) {
+			withMode(b, mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					kernels.CosineWeight(dst, src, cos)
+				}
+				record(b, 4*n)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelsSpectralMul(b *testing.B) {
+	const n = 513 // half spectrum of a 1024-point row
+	rng := rand.New(rand.NewSource(2))
+	// Unit-magnitude gains keep the repeatedly rescaled spectrum out of the
+	// denormal range, which would distort the timing.
+	gain := make([]float32, n)
+	for i := range gain {
+		gain[i] = float32(1 - 2*rng.Intn(2))
+	}
+	spec := randC64(rng, n)
+	for _, mode := range []string{"ref", "fast"} {
+		b.Run(mode, func(b *testing.B) {
+			withMode(b, mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					kernels.SpectralMul(spec, gain)
+				}
+				record(b, 8*n)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelsButterfly(b *testing.B) {
+	const n = 512 // the half transform behind a 1024-point padded row
+	rng := rand.New(rand.NewSource(3))
+	tw := make([]complex64, n/2)
+	for k := range tw {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+	}
+	x0 := randC64(rng, n)
+	x := make([]complex64, n)
+	for _, mode := range []string{"ref", "fast"} {
+		b.Run(mode, func(b *testing.B) {
+			withMode(b, mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// Reset from a pristine copy: a full stage sweep grows
+					// magnitudes ~n×, which would hit Inf within a few
+					// iterations. One full sweep = the butterflies of one FFT.
+					copy(x, x0)
+					for size := 2; size <= n; size <<= 1 {
+						kernels.ButterflyStage(x, tw, size, n/size)
+					}
+				}
+				record(b, 8*n)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelsRealUnpack(b *testing.B) {
+	const m = 512
+	rng := rand.New(rand.NewSource(4))
+	w := make([]complex64, m/2+1)
+	for k := range w {
+		angle := -2 * math.Pi * float64(k) / float64(2*m)
+		w[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+	}
+	spec := randC64(rng, m+1)
+	for _, mode := range []string{"ref", "fast"} {
+		b.Run(mode, func(b *testing.B) {
+			withMode(b, mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					kernels.RealUnpack(spec, w, m)
+					kernels.RealRepack(spec, w, m)
+				}
+				record(b, 2*8*m)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelsAccumLinePair(b *testing.B) {
+	const rw, rh, nk = 512, 512, 256
+	rng := rand.New(rand.NewSource(5))
+	proj := randF32(rng, rw*rh)
+	sum, sym := make([]float32, nk), make([]float32, nk)
+	for _, mode := range []string{"ref", "fast"} {
+		b.Run(mode, func(b *testing.B) {
+			withMode(b, mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					kernels.AccumLinePair(sum, sym, proj, rw, rh,
+						200.25, 0.002, 4e-6, 30, 0.45, 1.5, rw-1, 0)
+				}
+				record(b, 2*4*nk)
+			})
+		})
+	}
+}

@@ -1,0 +1,290 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Parity policy, asserted by these tests:
+//
+//   - CosineWeight, SpectralMul, ColumnGeom and AccumLinePair perform the
+//     same float32 operations in the same order in both variants, so fast
+//     and ref are BIT-identical — including NaN/Inf propagation.
+//   - ButterflyStage, RealUnpack and RealRepack decompose the complex64
+//     multiply into explicit float32 arithmetic in the fast variant (the
+//     builtin rounds through float64), so they differ by ~1 ulp per
+//     operation: parity is checked to 1e-6 relative — 10× tighter than the
+//     required ≤1e-5 bound — and non-finite inputs must poison exactly the
+//     same elements in both variants.
+
+func eqBits(a, b float32) bool {
+	return a == b || (math.IsNaN(float64(a)) && math.IsNaN(float64(b)))
+}
+
+func finite(c complex64) bool {
+	re, im := float64(real(c)), float64(imag(c))
+	return !math.IsNaN(re) && !math.IsInf(re, 0) && !math.IsNaN(im) && !math.IsInf(im, 0)
+}
+
+// checkComplexParity compares two complex slices element-wise: finite
+// elements must agree within tol·peak, and non-finite ("poisoned") elements
+// must coincide.
+func checkComplexParity(t *testing.T, name string, ref, fast []complex64, tol float64) {
+	t.Helper()
+	var peak float64
+	for _, c := range ref {
+		if finite(c) {
+			peak = math.Max(peak, math.Max(math.Abs(float64(real(c))), math.Abs(float64(imag(c)))))
+		}
+	}
+	bound := tol * (peak + 1)
+	for i := range ref {
+		rf, ff := finite(ref[i]), finite(fast[i])
+		if rf != ff {
+			t.Fatalf("%s: element %d poisoned in one variant only: ref=%v fast=%v", name, i, ref[i], fast[i])
+		}
+		if !rf {
+			continue
+		}
+		if d := math.Max(math.Abs(float64(real(ref[i])-real(fast[i]))),
+			math.Abs(float64(imag(ref[i])-imag(fast[i])))); d > bound {
+			t.Fatalf("%s: element %d diverges by %g (> %g): ref=%v fast=%v", name, i, d, bound, ref[i], fast[i])
+		}
+	}
+}
+
+// widths covers odd/even and non-power-of-two row lengths, including the
+// unroll tail cases 1..3.
+var widths = []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100, 513}
+
+func randRow(rng *rand.Rand, n int, poison bool) []float32 {
+	row := make([]float32, n)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64())
+	}
+	if poison && n > 0 {
+		switch rng.Intn(3) {
+		case 0:
+			row[rng.Intn(n)] = float32(math.NaN())
+		case 1:
+			row[rng.Intn(n)] = float32(math.Inf(1))
+		case 2:
+			row[rng.Intn(n)] = float32(math.Inf(-1))
+		}
+	}
+	return row
+}
+
+func TestCosineWeightParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range widths {
+		for trial := 0; trial < 20; trial++ {
+			src := randRow(rng, n, trial%3 == 0)
+			cos := randRow(rng, n, trial%5 == 0)
+			ref := make([]float32, n)
+			fast := make([]float32, n)
+			CosineWeightRef(ref, src, cos)
+			cosineWeightFast(fast, src, cos)
+			for i := range ref {
+				if !eqBits(ref[i], fast[i]) {
+					t.Fatalf("n=%d: dst[%d] ref=%v fast=%v", n, i, ref[i], fast[i])
+				}
+			}
+			// In-place aliasing (dst == src), as used by the filter.
+			inPlace := append([]float32(nil), src...)
+			cosineWeightFast(inPlace, inPlace, cos)
+			for i := range ref {
+				if !eqBits(ref[i], inPlace[i]) {
+					t.Fatalf("n=%d: aliased dst[%d] ref=%v fast=%v", n, i, ref[i], inPlace[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSpectralMulParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range widths {
+		for trial := 0; trial < 20; trial++ {
+			re := randRow(rng, n, trial%3 == 0)
+			im := randRow(rng, n, trial%4 == 0)
+			gain := randRow(rng, n, trial%5 == 0)
+			ref := make([]complex64, n)
+			fast := make([]complex64, n)
+			for i := range ref {
+				ref[i] = complex(re[i], im[i])
+				fast[i] = ref[i]
+			}
+			SpectralMulRef(ref, gain)
+			spectralMulFast(fast, gain)
+			for i := range ref {
+				if !eqBits(real(ref[i]), real(fast[i])) || !eqBits(imag(ref[i]), imag(fast[i])) {
+					t.Fatalf("n=%d: spec[%d] ref=%v fast=%v", n, i, ref[i], fast[i])
+				}
+			}
+		}
+	}
+}
+
+func TestColumnGeomParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, nb := range []int{1, 2, 3, 5, 8, 31, 32} {
+		rows := make([][3][4]float32, nb)
+		for tr := range rows {
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 4; c++ {
+					rows[tr][r][c] = float32(rng.NormFloat64())
+				}
+			}
+		}
+		// One singular projection: z = 0 divides to ±Inf, which must flow
+		// through identically.
+		rows[0][2] = [4]float32{}
+		usR, fsR, wsR := make([]float32, nb), make([]float32, nb), make([]float32, nb)
+		usF, fsF, wsF := make([]float32, nb), make([]float32, nb), make([]float32, nb)
+		fi, fj := float32(rng.Intn(512)), float32(rng.Intn(512))
+		ColumnGeomRef(usR, fsR, wsR, rows, fi, fj)
+		columnGeomFast(usF, fsF, wsF, rows, fi, fj)
+		for i := 0; i < nb; i++ {
+			if !eqBits(usR[i], usF[i]) || !eqBits(fsR[i], fsF[i]) || !eqBits(wsR[i], wsF[i]) {
+				t.Fatalf("nb=%d t=%d: ref=(%v,%v,%v) fast=(%v,%v,%v)",
+					nb, i, usR[i], fsR[i], wsR[i], usF[i], fsF[i], wsF[i])
+			}
+		}
+	}
+}
+
+// twiddles builds the forward (or conjugated inverse) twiddle table for an
+// n-point transform, mirroring fft.NewPlan32.
+func twiddles(n int, inverse bool) []complex64 {
+	tw := make([]complex64, n/2)
+	for k := range tw {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		if inverse {
+			angle = -angle
+		}
+		tw[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+	}
+	return tw
+}
+
+func TestButterflyStageParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		for _, inverse := range []bool{false, true} {
+			tw := twiddles(n, inverse)
+			for trial := 0; trial < 10; trial++ {
+				poison := trial >= 7
+				re := randRow(rng, n, poison)
+				im := randRow(rng, n, poison)
+				ref := make([]complex64, n)
+				fast := make([]complex64, n)
+				for i := range ref {
+					ref[i] = complex(re[i], im[i])
+					fast[i] = ref[i]
+				}
+				// Run every stage of the transform so each (size, step)
+				// combination — and the size-2/4 special cases — is hit.
+				for size := 2; size <= n; size <<= 1 {
+					ButterflyStageRef(ref, tw, size, n/size)
+					butterflyStageFast(fast, tw, size, n/size)
+					checkComplexParity(t, "butterfly", ref, fast, 1e-6)
+					// Re-sync so per-stage differences do not compound into
+					// the next stage's comparison.
+					copy(fast, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestRealUnpackRepackParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []int{1, 2, 4, 8, 32, 128, 512} {
+		w := make([]complex64, m/2+1)
+		for k := range w {
+			angle := -2 * math.Pi * float64(k) / float64(2*m)
+			w[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+		}
+		for trial := 0; trial < 10; trial++ {
+			poison := trial >= 7
+			re := randRow(rng, m+1, poison)
+			im := randRow(rng, m+1, poison)
+			ref := make([]complex64, m+1)
+			fast := make([]complex64, m+1)
+			for i := range ref {
+				ref[i] = complex(re[i], im[i])
+				fast[i] = ref[i]
+			}
+			RealUnpackRef(ref, w, m)
+			realUnpackFast(fast, w, m)
+			checkComplexParity(t, "unpack", ref, fast, 1e-6)
+
+			for i := range ref {
+				ref[i] = complex(re[i], im[i])
+				fast[i] = ref[i]
+			}
+			RealRepackRef(ref, w, m)
+			realRepackFast(fast, w, m)
+			checkComplexParity(t, "repack", ref, fast, 1e-6)
+		}
+	}
+}
+
+func TestAccumLinePairParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dims := []struct{ rw, rh int }{{3, 3}, {5, 8}, {8, 5}, {17, 33}, {64, 64}, {33, 100}}
+	for _, d := range dims {
+		proj := randRow(rng, d.rw*d.rh, false)
+		// Sprinkle non-finite detector values too.
+		proj[rng.Intn(len(proj))] = float32(math.NaN())
+		proj[rng.Intn(len(proj))] = float32(math.Inf(1))
+		for trial := 0; trial < 60; trial++ {
+			nk := rng.Intn(9) // includes 0-length lines
+			sumR, symR := randRow(rng, nk, false), randRow(rng, nk, false)
+			sumF := append([]float32(nil), sumR...)
+			symF := append([]float32(nil), symR...)
+			// u sweeps the interior, both borders, fully outside, and NaN/Inf.
+			us := []float32{
+				float32(rng.Float64()) * float32(d.rh),
+				-0.5, -1.5, float32(d.rh) - 1, float32(d.rh) - 0.5, float32(d.rh) + 2,
+				float32(math.NaN()), float32(math.Inf(1)),
+			}
+			u := us[trial%len(us)]
+			f := float32(rng.NormFloat64())
+			wdis := f * f
+			yb := float32(rng.NormFloat64()) * 10
+			ry2 := float32(rng.NormFloat64())
+			ry3 := float32(rng.NormFloat64())
+			if trial%11 == 0 {
+				ry2 = float32(math.NaN()) // poisons v for every k
+			}
+			vm1 := float32(d.rw - 1)
+			k0 := rng.Intn(16)
+			AccumLinePairRef(sumR, symR, proj, d.rw, d.rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
+			accumLinePairFast(sumF, symF, proj, d.rw, d.rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
+			for i := 0; i < nk; i++ {
+				if !eqBits(sumR[i], sumF[i]) || !eqBits(symR[i], symF[i]) {
+					t.Fatalf("rw=%d rh=%d u=%v k=%d: ref=(%v,%v) fast=(%v,%v)",
+						d.rw, d.rh, u, i, sumR[i], symR[i], sumF[i], symF[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSetMode(t *testing.T) {
+	t.Cleanup(func() { fastEnabled.Store(true) })
+	if err := SetMode("ref"); err != nil || Mode() != "ref" {
+		t.Fatalf("SetMode(ref): err=%v mode=%q", err, Mode())
+	}
+	for _, m := range []string{"fast", "auto"} {
+		if err := SetMode(m); err != nil || Mode() != "fast" {
+			t.Fatalf("SetMode(%s): err=%v mode=%q", m, err, Mode())
+		}
+	}
+	if err := SetMode("avx512"); err == nil {
+		t.Fatal("SetMode accepted an unknown mode")
+	}
+}

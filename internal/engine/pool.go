@@ -180,3 +180,11 @@ func (p *BufPool[T]) pool(n int) *sync.Pool {
 func (p *BufPool[T]) Acquire(n int) *Buf[T] {
 	return p.pool(n).Get().(*Buf[T])
 }
+
+// AcquireZeroed returns a length-n buffer with every element zeroed, for
+// callers that accumulate into the scratch rather than overwrite it.
+func (p *BufPool[T]) AcquireZeroed(n int) *Buf[T] {
+	b := p.Acquire(n)
+	clear(b.Data)
+	return b
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"ifdk/internal/ct/kernels"
 )
 
 // Plan32 caches twiddle factors and the bit-reversal permutation for a
@@ -29,11 +31,14 @@ type Plan32 struct {
 	n       int
 	perm    []int32
 	twiddle []complex64 // forward twiddles: exp(-2πi k / n), k < n/2
+	invTw   []complex64 // conjugated twiddles for the inverse transform
 }
 
 // NewPlan32 builds a single-precision plan for length n (a power of two
 // ≥ 1). Twiddles are evaluated in float64 and rounded once, so the only
-// single-precision error is in the butterflies themselves.
+// single-precision error is in the butterflies themselves. The inverse
+// twiddles are precomputed conjugates, keeping the direction branch out of
+// the butterfly kernel.
 func NewPlan32(n int) (*Plan32, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("fft: plan length %d is not a power of two", n)
@@ -45,9 +50,12 @@ func NewPlan32(n int) (*Plan32, error) {
 		p.perm[i] = int32(bits.Reverse32(uint32(i)) >> (32 - logN))
 	}
 	p.twiddle = make([]complex64, n/2)
+	p.invTw = make([]complex64, n/2)
 	for k := range p.twiddle {
 		angle := -2 * math.Pi * float64(k) / float64(n)
-		p.twiddle[k] = complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+		w := complex(float32(math.Cos(angle)), float32(math.Sin(angle)))
+		p.twiddle[k] = w
+		p.invTw[k] = complex(real(w), -imag(w))
 	}
 	return p, nil
 }
@@ -77,21 +85,12 @@ func (p *Plan32) transform(x []complex64, inverse bool) {
 			x[i], x[int(j)] = x[int(j)], x[i]
 		}
 	}
+	tw := p.twiddle
+	if inverse {
+		tw = p.invTw
+	}
 	for size := 2; size <= p.n; size <<= 1 {
-		half := size >> 1
-		step := p.n / size
-		for start := 0; start < p.n; start += size {
-			for k := 0; k < half; k++ {
-				w := p.twiddle[k*step]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-			}
-		}
+		kernels.ButterflyStage(x, tw, size, p.n/size)
 	}
 }
 
@@ -146,21 +145,9 @@ func (p *RealPlan) Forward(dst []complex64, src []float32) {
 		z[j] = complex(src[2*j], src[2*j+1])
 	}
 	p.half.Forward(z)
-	// Unpack. With E/O the DFTs of the even/odd subsequences:
-	//   Z[k] = E[k] + i·O[k],  conj(Z[m-k]) = E[k] - i·O[k]
-	//   X[k]   = E[k] + w^k·O[k]
-	//   X[m-k] = conj(E[k] - w^k·O[k])
-	z0 := z[0]
-	dst[0] = complex(real(z0)+imag(z0), 0)
-	dst[m] = complex(real(z0)-imag(z0), 0)
-	for k := 1; k <= m/2; k++ {
-		a, b := z[k], z[m-k]
-		e := complex(0.5*(real(a)+real(b)), 0.5*(imag(a)-imag(b))) // E[k]
-		o := complex(0.5*(imag(a)+imag(b)), 0.5*(real(b)-real(a))) // O[k] = -i·(a-conj(b))/2
-		wo := p.w[k] * o
-		dst[k] = e + wo
-		dst[m-k] = complex(real(e)-real(wo), imag(wo)-imag(e)) // conj(E - w·O)
-	}
+	// Unpack the half transform into the n-point half spectrum (the classic
+	// realft split; formulas on kernels.RealUnpackRef).
+	kernels.RealUnpack(dst, p.w, m)
 }
 
 // Inverse reconstructs the real signal (length n) from the half spectrum
@@ -176,22 +163,9 @@ func (p *RealPlan) Inverse(dst []float32, spec []complex64) {
 	if len(spec) < m+1 {
 		panic(fmt.Sprintf("fft: spectrum buffer %d too short for %d bins", len(spec), m+1))
 	}
-	// Repack the half spectrum into the m-point spectrum of z:
-	//   E[k] = (X[k] + conj(X[m-k]))/2
-	//   O[k] = conj(w^k)·(X[k] - conj(X[m-k]))/2
-	//   Z[k] = E[k] + i·O[k]
-	x0, xm := real(spec[0]), real(spec[m])
-	spec[0] = complex(0.5*(x0+xm), 0.5*(x0-xm))
-	for k := 1; k <= m/2; k++ {
-		a, b := spec[k], spec[m-k]
-		e := complex(0.5*(real(a)+real(b)), 0.5*(imag(a)-imag(b)))
-		wo := complex(0.5*(real(a)-real(b)), 0.5*(imag(a)+imag(b))) // w^k·O[k]
-		w := p.w[k]
-		o := complex(real(w), -imag(w)) * wo // conj(w^k)·(w^k·O[k])
-		// Z[k] = E + i·O; Z[m-k] = conj(E) + i·conj(O).
-		spec[k] = complex(real(e)-imag(o), imag(e)+real(o))
-		spec[m-k] = complex(real(e)+imag(o), real(o)-imag(e))
-	}
+	// Repack the half spectrum into the m-point spectrum of z (formulas on
+	// kernels.RealRepackRef).
+	kernels.RealRepack(spec, p.w, m)
 	z := spec[:m]
 	p.half.Inverse(z)
 	for j := 0; j < m; j++ {

@@ -1,0 +1,194 @@
+package mpi
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"ifdk/internal/race"
+)
+
+// ReduceBufs must combine in the same order as Reduce (bit-identical
+// accumulation) at every root, including non-power-of-two world sizes
+// where the binomial tree is irregular.
+func TestReduceBufsMatchesReduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8} {
+		for root := 0; root < n; root++ {
+			err := Run(n, func(c *Comm) error {
+				data := make([]float32, 33)
+				for i := range data {
+					data[i] = float32(c.Rank()+1) * float32(i+1) * 0.127
+				}
+				ref, err := c.Reduce(root, data, OpSum)
+				if err != nil {
+					return err
+				}
+				got, err := c.ReduceBufs(root, data, OpSum)
+				if err != nil {
+					return err
+				}
+				defer got.Release()
+				if (got != nil) != (c.Rank() == root) {
+					t.Errorf("n=%d root=%d rank %d: block presence wrong (got=%v)", n, root, c.Rank(), got != nil)
+					return nil
+				}
+				if got == nil {
+					return nil
+				}
+				for i := range ref {
+					if got.Data[i] != ref[i] {
+						t.Errorf("n=%d root=%d: element %d: pooled %v vs %v", n, root, i, got.Data[i], ref[i])
+						return nil
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// BcastBufs must deliver the root payload to every rank, with each rank
+// owning an independent pooled block.
+func TestBcastBufsMatchesBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			err := Run(n, func(c *Comm) error {
+				var payload []float32
+				if c.Rank() == root {
+					payload = make([]float32, 17)
+					for i := range payload {
+						payload[i] = float32(root*100 + i)
+					}
+				}
+				got, err := c.BcastBufs(root, payload)
+				if err != nil {
+					return err
+				}
+				defer got.Release()
+				if len(got.Data) != 17 {
+					t.Errorf("n=%d root=%d rank %d: got %d elements, want 17", n, root, c.Rank(), len(got.Data))
+					return nil
+				}
+				for i := range got.Data {
+					if got.Data[i] != float32(root*100+i) {
+						t.Errorf("n=%d root=%d rank %d: element %d = %v", n, root, c.Rank(), i, got.Data[i])
+						return nil
+					}
+				}
+				// Each rank owns its block: writing here must not corrupt
+				// anyone else (Run joins all ranks, so a shared backing array
+				// would be caught by -race and by value checks above).
+				got.Data[0] = float32(c.Rank())
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// SendBuf/RecvBuf must move a pooled payload point-to-point with the
+// ownership contract intact, and SendBuf must release the block itself on
+// a validation error (ownership always transfers).
+func TestSendBufRecvBuf(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := blockPool.Acquire(8)
+			for i := range buf.Data {
+				buf.Data[i] = float32(i) * 2
+			}
+			if err := c.SendBuf(1, 7, buf); err != nil {
+				return err
+			}
+			// Invalid destination: SendBuf still consumes the block.
+			bad := blockPool.Acquire(4)
+			if err := c.SendBuf(99, 7, bad); err == nil {
+				t.Error("SendBuf to invalid rank succeeded")
+			}
+			bad = blockPool.Acquire(4)
+			if err := c.SendBuf(1, -1, bad); err == nil {
+				t.Error("SendBuf with negative tag succeeded")
+			}
+			return nil
+		}
+		got, err := c.RecvBuf(0, 7)
+		if err != nil {
+			return err
+		}
+		defer got.Release()
+		for i := range got.Data {
+			if got.Data[i] != float32(i)*2 {
+				t.Errorf("element %d = %v", i, got.Data[i])
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The reduce/bcast epilogue must run on pooled blocks: steady-state
+// allocation per AllReduce round has to sit far below the unpooled
+// baseline of one accumulator plus one tree transfer per rank. GC is
+// disabled across the measurement so sync.Pool cannot be drained mid-test.
+func TestReduceBcastBufsAllocRegression(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting is skewed by race instrumentation")
+	}
+	const (
+		ranks    = 4
+		blockLen = 64 * 1024 // 256 KiB per block, a realistic slab-pair shard
+		rounds   = 50
+	)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	doRounds := func(k int) error {
+		return Run(ranks, func(c *Comm) error {
+			data := make([]float32, blockLen)
+			for r := 0; r < k; r++ {
+				red, err := c.ReduceBufs(0, data, OpSum)
+				if err != nil {
+					return err
+				}
+				var payload []float32
+				if red != nil {
+					payload = red.Data
+				}
+				got, err := c.BcastBufs(0, payload)
+				red.Release()
+				if err != nil {
+					return err
+				}
+				got.Release()
+			}
+			return nil
+		})
+	}
+	// Warm the pool (first rounds do allocate their blocks).
+	if err := doRounds(4); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := doRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	perRound := int64(after.TotalAlloc-before.TotalAlloc) / rounds
+	// Unpooled, every rank allocates an accumulator and every tree edge a
+	// transfer copy: ~2 × ranks × blockLen × 4 bytes per round.
+	unpooled := int64(2 * ranks * blockLen * 4)
+	t.Logf("pooled reduce+bcast allocates %d B/round (unpooled baseline %d B/round)", perRound, unpooled)
+	if perRound > unpooled/5 {
+		t.Fatalf("ReduceBufs+BcastBufs allocate %d B/round, want < 20%% of the %d B/round unpooled baseline — blocks are not being pooled",
+			perRound, unpooled)
+	}
+}

@@ -268,6 +268,45 @@ func (c *Comm) sendPooled(dst, tag int, data []float32) error {
 	return nil
 }
 
+// sendBuf delivers an already-pooled block to dst, transferring ownership
+// into the mailbox without a copy — the zero-copy counterpart of sendPooled
+// for payloads that already live in pooled blocks (e.g. a ReduceBufs
+// accumulator moving up the tree). Ownership ALWAYS transfers: on any error
+// the block is released here, so the caller must not touch it afterwards
+// regardless of outcome.
+func (c *Comm) sendBuf(dst, tag int, buf *engine.Buf[float32]) error {
+	if dst < 0 || dst >= c.Size() {
+		buf.Release()
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.Size())
+	}
+	if c.shared.w.aborted.Load() {
+		buf.Release()
+		return ErrAborted
+	}
+	c.enqueue(dst, tag, envelope{data: buf.Data, buf: buf})
+	return nil
+}
+
+// SendBuf is Send for pooled blocks: the payload moves to dst without a
+// copy, and ownership of buf always transfers (released internally on
+// error). Pair with RecvBuf on the receiving side.
+func (c *Comm) SendBuf(dst, tag int, buf *engine.Buf[float32]) error {
+	if tag < 0 {
+		buf.Release()
+		return fmt.Errorf("mpi: negative tags are reserved")
+	}
+	return c.sendBuf(dst, tag, buf)
+}
+
+// RecvBuf is Recv returning the pooled block handle; the caller owns the
+// release.
+func (c *Comm) RecvBuf(src, tag int) (*engine.Buf[float32], error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: negative tags are reserved")
+	}
+	return c.recvPooled(src, tag)
+}
+
 func (c *Comm) enqueue(dst, tag int, env envelope) {
 	env.ctx, env.src, env.tag = c.shared.ctx, c.rank, tag
 	box := c.shared.w.boxes[c.shared.global[dst]]
@@ -581,13 +620,112 @@ func (c *Comm) Reduce(root int, data []float32, op ReduceOp) ([]float32, error) 
 	return nil, nil
 }
 
-// AllReduce combines payloads on every rank (Reduce to rank 0 + Bcast).
+// ReduceBufs is Reduce with the accumulator and every tree transfer drawn
+// from the shared block pool — the allocation-free path the per-job epilogue
+// uses once per reconstruction (the last unpooled per-round payloads after
+// the AllGather blocks were pooled). The combine order matches Reduce
+// exactly, so results stay deterministic. Root owns the returned block and
+// must Release it; other ranks receive nil.
+func (c *Comm) ReduceBufs(root int, data []float32, op ReduceOp) (*engine.Buf[float32], error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	vr := (c.rank - root + size) % size
+	acc := blockPool.Acquire(len(data))
+	copy(acc.Data, data)
+	for mask := 1; mask < size; mask <<= 1 {
+		if vr&mask != 0 {
+			// Interior rank: the accumulator itself moves to the parent.
+			parent := (vr - mask + root) % size
+			return nil, c.sendBuf(parent, tagReduce, acc)
+		}
+		peer := vr | mask
+		if peer < size {
+			got, err := c.recvPooled((peer+root)%size, tagReduce)
+			if err != nil {
+				acc.Release()
+				return nil, err
+			}
+			err = op.apply(acc.Data, got.Data)
+			got.Release()
+			if err != nil {
+				acc.Release()
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// BcastBufs is Bcast with every payload block drawn from the shared pool:
+// each rank owns the returned block and must Release it. Root passes the
+// payload; other ranks pass nil.
+func (c *Comm) BcastBufs(root int, data []float32) (*engine.Buf[float32], error) {
+	size := c.Size()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	vr := (c.rank - root + size) % size
+	var buf *engine.Buf[float32]
+	if vr == 0 {
+		buf = blockPool.Acquire(len(data))
+		copy(buf.Data, data)
+	} else {
+		mask := 1
+		for mask < size {
+			if vr&mask != 0 {
+				parent := (vr - mask + root) % size
+				got, err := c.recvPooled(parent, tagBcast)
+				if err != nil {
+					return nil, err
+				}
+				buf = got
+				break
+			}
+			mask <<= 1
+		}
+	}
+	mask := 1
+	for mask < size {
+		if vr&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		child := vr | m
+		if child < size && child != vr {
+			if err := c.sendPooled((child+root)%size, tagBcast, buf.Data); err != nil {
+				buf.Release()
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// AllReduce combines payloads on every rank (Reduce to rank 0 + Bcast). The
+// tree transfers ride pooled blocks; only the returned slice is heap-owned
+// by the caller.
 func (c *Comm) AllReduce(data []float32, op ReduceOp) ([]float32, error) {
-	acc, err := c.Reduce(0, data, op)
+	acc, err := c.ReduceBufs(0, data, op)
 	if err != nil {
 		return nil, err
 	}
-	return c.Bcast(0, acc)
+	var payload []float32
+	if acc != nil {
+		payload = acc.Data
+	}
+	got, err := c.BcastBufs(0, payload)
+	acc.Release() // nil-safe; root's accumulator is copied into the bcast block
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(got.Data))
+	copy(out, got.Data)
+	got.Release()
+	return out, nil
 }
 
 // Split partitions the communicator: ranks passing the same color form a

@@ -3,6 +3,16 @@
 // micro-benchmarked system throughputs (Sec. 4.2.1). The model produces the
 // "potential peak" series of Fig. 5 and, combined with the discrete-event
 // pipeline simulation in internal/simcluster, the full scaling study.
+//
+// Billing note: the service's cost-aware admission estimates each job
+// independently from this model and calibrates against each job's own
+// observed stage clock. Cross-job shared filter sweeps
+// (internal/service/batcher) do not change that accounting — every job's
+// filter time is measured around its own rank's Filter calls (including any
+// coalescing wait), so a batched round's cost lands on the jobs that rode
+// it, never on a bystander. Batching can only lower a job's observed filter
+// time relative to this model's THFlt term, which the calibration EWMA
+// absorbs the same way it absorbs any other machine-speed delta.
 package perfmodel
 
 import (

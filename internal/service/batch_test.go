@@ -1,0 +1,94 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// With cross-job filter batching on, concurrent jobs sharing a plan must
+// still reconstruct correctly (verified against the serial reference), the
+// batcher metrics must move, and the per-round trace spans must carry the
+// observed batch size.
+func TestFilterBatchingEndToEnd(t *testing.T) {
+	m := NewManager(Options{Workers: 2, FilterBatchWindow: 500 * time.Microsecond})
+	defer shutdown(t, m)
+
+	// Two distinct specs (no cache sharing), same geometry → same filter
+	// plan: their ranks all coalesce through one batcher group.
+	var ids []string
+	for i := 0; i < 2; i++ {
+		s := testSpec()
+		s.NP = 32 + 4*i
+		s.Verify = true
+		v, err := m.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		v := waitState(t, m, id, 60*time.Second)
+		if v.State != StateDone {
+			t.Fatalf("job %s settled %s: %s", id, v.State, v.Error)
+		}
+		if !v.Verified || v.RelRMSE > 1e-5 {
+			t.Fatalf("job %s verified=%v relRMSE=%g", id, v.Verified, v.RelRMSE)
+		}
+	}
+
+	if n := m.met.filterSweeps.Value(); n == 0 {
+		t.Error("no shared filter sweeps recorded")
+	}
+	if n := m.met.filterBatchedProj.Value(); n < 64 {
+		t.Errorf("batched projections %d, want >= 64 (every round routed through the batcher)", n)
+	}
+
+	// Per-round spans carry the batch size the round observed.
+	tr, err := m.TraceFor(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBatch := false
+	for _, s := range tr.Spans {
+		if s.Name == "filter.round" && s.Attrs["batch_size"] != "" {
+			sawBatch = true
+			break
+		}
+	}
+	if !sawBatch {
+		t.Error("no filter.round span carries a batch_size attribute")
+	}
+}
+
+// Cancelling a job mid-run with batching on must tear down cleanly: the
+// other job in the group finishes, and the batcher does not deadlock.
+func TestFilterBatchingCancelMidRound(t *testing.T) {
+	m := NewManager(Options{Workers: 2, FilterBatchWindow: 500 * time.Microsecond, PFS: pfsThrottled()})
+	defer shutdown(t, m)
+
+	victim := testSpec()
+	victim.NP = 64
+	survivorSpec := testSpec()
+	survivorSpec.NP = 68
+	v1, err := m.Submit(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.Submit(survivorSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give both jobs time to enter the pipeline, then cancel one.
+	time.Sleep(50 * time.Millisecond)
+	if err := m.Cancel(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v1.ID, 60*time.Second)
+	if got.State != StateCancelled && got.State != StateDone {
+		t.Fatalf("victim settled %s: %s", got.State, got.Error)
+	}
+	sv := waitState(t, m, v2.ID, 60*time.Second)
+	if sv.State != StateDone {
+		t.Fatalf("survivor settled %s: %s", sv.State, sv.Error)
+	}
+}

@@ -1,0 +1,315 @@
+// Package batcher coalesces the filtering stage of co-resident jobs that
+// share a (geometry, window) filter plan into single shared row sweeps.
+//
+// Motivation. Each rank's filter thread processes one projection per
+// AllGather round (internal/core). When W workers run W jobs of the same
+// geometry concurrently, the service executes W independent ApplyInto calls
+// per round — each a full pass over the shared cosine table and ramp
+// spectrum, each scheduled separately on the engine worker pool. Coalescing
+// them into one filter.Sweep turns N co-scheduled projections into a single
+// flat row-index space: one scheduling round, one streaming pass over the
+// plan tables, and the per-call fixed costs amortized N ways.
+//
+// Mechanism. Ranks Join a Pool keyed by the filter plan; each Join returns a
+// Member whose Filter parks the projection with the plan's group. The
+// group's dispatcher flushes a round either when every seated member has a
+// projection pending (all co-resident ranks have arrived) or when the
+// coalescing window expires — whichever is first — then runs one
+// filter.Sweep over the collected images and wakes every submitter with the
+// round's batch size. A submitter whose context is cancelled before its
+// projection was taken withdraws it immediately; one already taken rides out
+// the in-flight sweep (the sweep owns the image) and then reports the
+// context error, so teardown never races the shared pass.
+//
+// Fairness and billing are untouched: each job's filter-thread clock wraps
+// only its own Filter call, and the per-round trace records the observed
+// batch size (the filter.round span's batch_size attribute), so coalesced
+// rounds remain attributable per job.
+//
+// Steady state performs at most one small allocation per job per round (the
+// pending-slot bookkeeping); the request, its completion channel and the
+// dispatcher's scratch are all reused.
+package batcher
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ifdk/internal/ct/filter"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/volume"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Window bounds how long a round waits for stragglers once the first
+	// projection arrives. 0 flushes as soon as the dispatcher wakes, which
+	// still coalesces simultaneous arrivals but never delays a lone one.
+	Window time.Duration
+
+	// Workers is the goroutine count handed to each shared sweep
+	// (0 = GOMAXPROCS).
+	Workers int
+
+	// OnSweep, when non-nil, observes every flushed round's batch size —
+	// the service hooks its sweep/batch-size metrics here. Called on the
+	// dispatcher goroutine, after the sweep completes.
+	OnSweep func(batch int)
+}
+
+// planKey identifies a shared filter plan; identical keys hit the same
+// memoized filter.Cached entry.
+type planKey struct {
+	g   geometry.Params
+	win filter.Window
+}
+
+// Pool groups members by filter plan. The zero value is not usable; call
+// New.
+type Pool struct {
+	opt    Options
+	mu     sync.Mutex
+	groups map[planKey]*group
+}
+
+// New builds an empty pool.
+func New(opt Options) *Pool {
+	return &Pool{opt: opt, groups: make(map[planKey]*group)}
+}
+
+// Join seats a rank in the plan's group, creating the group (and its
+// dispatcher) on first use. The returned Member is owned by one goroutine:
+// Filter calls must be sequential, and Close releases the seat.
+func (p *Pool) Join(g geometry.Params, win filter.Window) (*Member, error) {
+	key := planKey{g: g, win: win}
+	p.mu.Lock()
+	grp, ok := p.groups[key]
+	if ok {
+		grp.mu.Lock()
+		grp.members++
+		grp.mu.Unlock()
+		p.mu.Unlock()
+	} else {
+		p.mu.Unlock()
+		flt, err := filter.Cached(g, win) // heavy: build outside the lock
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		if grp, ok = p.groups[key]; ok {
+			grp.mu.Lock()
+			grp.members++
+			grp.mu.Unlock()
+		} else {
+			grp = &group{
+				pool: p, key: key, flt: flt,
+				wake: make(chan struct{}, 1),
+				stop: make(chan struct{}),
+				done: make(chan struct{}),
+			}
+			grp.members = 1
+			p.groups[key] = grp
+			go grp.dispatch()
+		}
+		p.mu.Unlock()
+	}
+	m := &Member{grp: grp}
+	m.req.done = make(chan result, 1)
+	return m, nil
+}
+
+// leave drops one seat; the last leaver retires the group and waits for its
+// dispatcher to drain (members never Close with a Filter in flight, so the
+// final flush finds nothing pending from this member).
+func (p *Pool) leave(g *group) {
+	p.mu.Lock()
+	g.mu.Lock()
+	g.members--
+	last := g.members == 0
+	full := len(g.pending) > 0 && len(g.pending) >= g.members
+	g.mu.Unlock()
+	if last {
+		delete(p.groups, g.key)
+	}
+	p.mu.Unlock()
+	if last {
+		close(g.stop)
+		<-g.done
+		return
+	}
+	if full {
+		g.signal() // the departed seat may have been the straggler a round was waiting on
+	}
+}
+
+// result is what a flushed round reports to each submitter.
+type result struct {
+	batch int
+	err   error
+}
+
+// request is one parked projection. Each Member owns exactly one, reused
+// across rounds; done is buffered so the dispatcher never blocks on a
+// submitter.
+type request struct {
+	img   *volume.Image
+	taken bool // guarded by group.mu: set when a flush claims the request
+	done  chan result
+}
+
+// Member is one rank's seat in a shared-sweep group. It implements
+// core.RowFilter.
+type Member struct {
+	grp *group
+	req request
+}
+
+// Filter parks img with the group and blocks until the round that includes
+// it completes, returning the round's batch size. On ctx cancellation an
+// unclaimed projection is withdrawn immediately; a claimed one waits out the
+// in-flight sweep before reporting ctx's error (the sweep owns the image
+// until then).
+func (m *Member) Filter(ctx context.Context, img *volume.Image) (int, error) {
+	g := m.grp
+	r := &m.req
+	r.img = img
+	g.mu.Lock()
+	r.taken = false
+	g.pending = append(g.pending, r)
+	first := len(g.pending) == 1
+	full := len(g.pending) >= g.members
+	g.mu.Unlock()
+	if first || full {
+		g.signal()
+	}
+	select {
+	case res := <-r.done:
+		return res.batch, res.err
+	case <-ctx.Done():
+	}
+	g.mu.Lock()
+	if !r.taken {
+		for i, q := range g.pending {
+			if q == r {
+				g.pending = append(g.pending[:i], g.pending[i+1:]...)
+				break
+			}
+		}
+		g.mu.Unlock()
+		r.img = nil
+		return 0, ctx.Err()
+	}
+	g.mu.Unlock()
+	<-r.done // in flight: ride out the sweep
+	return 0, ctx.Err()
+}
+
+// Close releases the member's seat. It must not be called while a Filter is
+// in flight.
+func (m *Member) Close() { m.grp.pool.leave(m.grp) }
+
+// group is the per-plan coalescing state plus its dispatcher goroutine.
+type group struct {
+	pool *Pool
+	key  planKey
+	flt  *filter.Filterer
+
+	mu      sync.Mutex
+	members int
+	pending []*request
+
+	wake chan struct{} // cap 1: "pending changed, look again"
+	stop chan struct{} // closed by the last leaver
+	done chan struct{} // closed when the dispatcher has drained
+
+	// Dispatcher-only scratch, reused across rounds.
+	take []*request
+	imgs []*volume.Image
+}
+
+// signal nudges the dispatcher without blocking (cap-1 channel: a pending
+// nudge already covers this one).
+func (g *group) signal() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch runs rounds until the group retires: wait for a first arrival,
+// collect stragglers up to the window (cut short the moment every seat is
+// filled), flush one shared sweep, repeat. On stop it flushes whatever is
+// still parked so no submitter blocks forever.
+func (g *group) dispatch() {
+	defer close(g.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-g.stop:
+			g.flush()
+			return
+		case <-g.wake:
+		}
+		if g.pool.opt.Window > 0 && !g.roundFull() {
+			timer.Reset(g.pool.opt.Window)
+		collect:
+			for !g.roundFull() {
+				select {
+				case <-g.wake:
+				case <-timer.C:
+					break collect
+				case <-g.stop:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		g.flush()
+	}
+}
+
+// roundFull reports whether every seated member has a projection parked.
+func (g *group) roundFull() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending) > 0 && len(g.pending) >= g.members
+}
+
+// flush claims everything pending, runs the shared sweep in place, and
+// reports the round to every submitter.
+func (g *group) flush() {
+	g.mu.Lock()
+	take := append(g.take[:0], g.pending...)
+	for _, r := range take {
+		r.taken = true
+	}
+	g.pending = g.pending[:0]
+	g.mu.Unlock()
+	g.take = take
+	if len(take) == 0 {
+		return
+	}
+	imgs := g.imgs[:0]
+	for _, r := range take {
+		imgs = append(imgs, r.img)
+	}
+	g.imgs = imgs
+	err := g.flt.Sweep(imgs, imgs, g.pool.opt.Workers)
+	if f := g.pool.opt.OnSweep; f != nil {
+		f(len(take))
+	}
+	for _, r := range take {
+		r.img = nil
+		r.done <- result{batch: len(take), err: err}
+	}
+}

@@ -1,0 +1,99 @@
+package batcher_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ifdk/internal/bench"
+	"ifdk/internal/ct/filter"
+	"ifdk/internal/ct/geometry"
+	"ifdk/internal/service/batcher"
+	"ifdk/internal/volume"
+)
+
+// BenchmarkBatchedFilter measures aggregate filtering throughput for J
+// co-resident jobs, independent (each job its own ApplyInto, the pre-batcher
+// behaviour) versus batched (one shared sweep per round). One iteration is
+// one round: every job filters one projection. Results are appended to
+// $IFDK_BENCH_OUT via bench.Record; CI gates the 4-job aggregate.
+func BenchmarkBatchedFilter(b *testing.B) {
+	g := geometry.Default(256, 128, 90, 64, 64, 64)
+	rng := rand.New(rand.NewSource(7))
+	for _, jobs := range []int{1, 2, 4, 8} {
+		imgs := make([]*volume.Image, jobs)
+		for i := range imgs {
+			imgs[i] = volume.NewImage(g.Nu, g.Nv)
+			for k := range imgs[i].Data {
+				imgs[i].Data[k] = float32(rng.NormFloat64())
+			}
+		}
+		bytesPerRound := int64(jobs) * 4 * int64(g.Nu) * int64(g.Nv)
+
+		b.Run(fmt.Sprintf("independent/jobs=%d", jobs), func(b *testing.B) {
+			flt, err := filter.Cached(g, filter.Hann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bytesPerRound)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < jobs; j++ {
+					wg.Add(1)
+					go func(img *volume.Image) {
+						defer wg.Done()
+						if err := flt.ApplyInto(img, img); err != nil {
+							b.Error(err)
+						}
+					}(imgs[j])
+				}
+				wg.Wait()
+			}
+			record(b, bytesPerRound)
+		})
+
+		b.Run(fmt.Sprintf("batched/jobs=%d", jobs), func(b *testing.B) {
+			p := batcher.New(batcher.Options{Window: time.Millisecond})
+			members := make([]*batcher.Member, jobs)
+			for j := range members {
+				var err error
+				if members[j], err = p.Join(g, filter.Hann); err != nil {
+					b.Fatal(err)
+				}
+			}
+			defer func() {
+				for _, m := range members {
+					m.Close()
+				}
+			}()
+			b.SetBytes(bytesPerRound)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < jobs; j++ {
+					wg.Add(1)
+					go func(m *batcher.Member, img *volume.Image) {
+						defer wg.Done()
+						if _, err := m.Filter(context.Background(), img); err != nil {
+							b.Error(err)
+						}
+					}(members[j], imgs[j])
+				}
+				wg.Wait()
+			}
+			record(b, bytesPerRound)
+		})
+	}
+}
+
+func record(b *testing.B, bytesPerOp int64) {
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	bench.Record(b.Name(), map[string]float64{
+		"ns_per_op": nsPerOp,
+		"mb_per_s":  float64(bytesPerOp) / nsPerOp * 1e9 / 1e6,
+	})
+}
