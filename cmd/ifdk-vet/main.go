@@ -1,0 +1,105 @@
+// Command ifdk-vet is the repo's multichecker: it runs the custom
+// analyzers in internal/analysis/... over the given packages and exits
+// non-zero if any invariant the compiler cannot see is violated — the
+// engine pool ownership contract (poolcheck), the //ifdk:hotpath
+// allocation gate (hotpathcheck), structured-logging discipline
+// (slogcheck), cancellation threading (ctxcheck) and obs metric registry
+// discipline (metricscheck).
+//
+// Usage:
+//
+//	go run ./cmd/ifdk-vet ./...
+//	go run ./cmd/ifdk-vet -checks poolcheck,hotpathcheck ./internal/ct/...
+//
+// CI runs the full set over ./... as a required step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ifdk/internal/analysis"
+	"ifdk/internal/analysis/ctxcheck"
+	"ifdk/internal/analysis/hotpathcheck"
+	"ifdk/internal/analysis/metricscheck"
+	"ifdk/internal/analysis/poolcheck"
+	"ifdk/internal/analysis/slogcheck"
+)
+
+var all = []*analysis.Analyzer{
+	poolcheck.Analyzer,
+	hotpathcheck.Analyzer,
+	slogcheck.Analyzer,
+	ctxcheck.Analyzer,
+	metricscheck.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ifdk-vet [-checks a,b] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the iFDK invariant analyzers (default pattern ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ifdk-vet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-vet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(selected, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdk-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ifdk-vet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

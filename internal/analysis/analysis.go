@@ -1,0 +1,112 @@
+// Package analysis is the iFDK static-analysis substrate: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// driver shape (Analyzer, Pass, Diagnostic) on top of the standard
+// library's go/ast, go/build and go/types. The container this repo builds
+// in bakes in nothing beyond the Go toolchain, so — exactly like
+// internal/obs re-implements the slice of the Prometheus exposition format
+// the fleet needs — this package re-implements the slice of the analysis
+// framework the repo's checkers need: package loading with full type
+// information, per-package analyzer runs, and positioned diagnostics.
+//
+// The checkers themselves live in the subpackages poolcheck, hotpathcheck,
+// slogcheck, ctxcheck and metricscheck; cmd/ifdk-vet is the multichecker
+// binary CI runs over ./... . They machine-enforce the invariants the
+// paper's performance claims rest on (zero-allocation hot paths, the
+// engine pool ownership contract, cancellation threaded through blocking
+// collectives) plus the fleet's logging and metrics discipline — things
+// the compiler cannot see and review keeps re-learning.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools analysis
+// shape so the checkers port mechanically if the dependency ever lands.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and CLI output.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf. The error return is for operational failures only
+	// (diagnostics are not errors).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path; Files are its parsed sources
+	// (comments retained), Pkg and TypesInfo the type-checker's output.
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Analyzer errors (not diagnostics) abort
+// the run.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against "// want" comments, mirroring the
+// x/tools harness of the same name.
+//
+// A fixture file marks each line that must produce a diagnostic with a
+// trailing comment of the form
+//
+//	x.Release() // want `released again`
+//
+// where the backquoted string is a regular expression matched against the
+// diagnostic message. Several expectations may follow one want on the
+// same line. Every diagnostic must be wanted and every want must be
+// matched, so fixtures double as negative tests: clean lines prove the
+// analyzer stays quiet on idiomatic code.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ifdk/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture package in dir (a path relative to the calling
+// test's package directory, conventionally "testdata/src/...") and checks
+// the analyzer's diagnostics against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	_, caller, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	abs := filepath.Join(filepath.Dir(caller), dir)
+
+	loader, err := analysis.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(loader.ModRoot, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("analysistest: loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	match := func(d analysis.Diagnostic) bool {
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if !match(d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", shortPath(w.file), w.line, w.re)
+		}
+	}
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "testdata"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

@@ -1,0 +1,289 @@
+// Package ctxcheck enforces cancellation discipline in the packages that
+// sit on blocking paths (service, router, MPI collectives, client SDK):
+//
+//   - exported functions that block (channel operations, select,
+//     time.Sleep, WaitGroup.Wait) must accept a context.Context, so
+//     callers can always cancel; a deliberate exception is waived with a
+//     "//ifdk:noctx <reason>" doc directive (the mpi.Comm collectives,
+//     whose cancellation contract is Abort/RunContext, carry one)
+//   - a blocking select inside a loop must include an escape case —
+//     ctx.Done(), a close/abort/stop channel, or a timer — or the
+//     goroutine can park forever after shutdown, the bug class behind the
+//     PR 1 abort deadlock
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ifdk/internal/analysis"
+)
+
+// Scopes lists the module-relative package prefixes on blocking paths.
+var Scopes = []string{
+	"internal/service",
+	"internal/router",
+	"internal/hpc/mpi",
+	"pkg/client",
+}
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "exported blocking functions take context.Context; select loops have a cancellation case",
+	Run:  run,
+}
+
+// escapeName matches channel names conventionally used as shutdown /
+// completion signals.
+var escapeName = regexp.MustCompile(`(?i)(done|close|quit|stop|abort|exit|term|cancel|shutdown|dying|dead|fail)`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Path, Scopes) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasAnnotation(fd.Doc, "noctx") {
+				if !noctxHasReason(fd.Doc) {
+					pass.Reportf(fd.Pos(), "//ifdk:noctx needs a reason (e.g. //ifdk:noctx cancellation via Abort)")
+				}
+				continue
+			}
+			checkExportedBlocking(pass, fd)
+			checkSelectLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+func noctxHasReason(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//ifdk:noctx"); ok && strings.TrimSpace(rest) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExportedBlocking reports exported functions that block directly
+// but have no context.Context parameter.
+func checkExportedBlocking(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	if hasContextParam(pass.TypesInfo, fd) {
+		return
+	}
+	pos := firstBlockingOp(fd.Body)
+	if !pos.IsValid() {
+		return
+	}
+	what := "function"
+	if fd.Recv != nil {
+		what = "method"
+	}
+	pass.Reportf(fd.Pos(), "exported %s %s blocks (see %s) but has no context.Context parameter; thread cancellation or waive with //ifdk:noctx <reason>",
+		what, fd.Name.Name, pass.Fset.Position(pos))
+}
+
+func hasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && analysis.IsContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstBlockingOp returns the position of the first operation that can
+// park the calling goroutine, not descending into func literals (their
+// blocking happens on the goroutine that runs them; the select-loop rule
+// covers those). Channel operations that are the comm clause of a select
+// with a default case are non-blocking by construction and do not count;
+// the clause bodies are still scanned.
+func firstBlockingOp(n ast.Node) token.Pos {
+	var pos token.Pos
+	found := func(p token.Pos) {
+		if !pos.IsValid() {
+			pos = p
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if !hasDefault(m) {
+				found(m.Pos())
+				return false
+			}
+			for _, c := range m.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				for _, st := range cc.Body {
+					if p := firstBlockingOp(st); p.IsValid() {
+						found(p)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			found(m.Pos())
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found(m.Pos())
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks between elements.
+		case *ast.CallExpr:
+			if isBlockingCall(m) {
+				found(m.Pos())
+			}
+		}
+		return !pos.IsValid()
+	})
+	return pos
+}
+
+func isBlockingCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Sleep":
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			return true
+		}
+	case "Wait":
+		return true // sync.WaitGroup.Wait, Cond.Wait, errgroup-style waits
+	}
+	return false
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSelectLoops walks the function (including func literals — those
+// are the worker goroutines) and reports blocking selects lexically
+// inside a loop that have no escape case.
+func checkSelectLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m.Init != nil {
+					walk(m.Init, loopDepth)
+				}
+				if m.Cond != nil {
+					walk(m.Cond, loopDepth)
+				}
+				if m.Post != nil {
+					walk(m.Post, loopDepth)
+				}
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.FuncLit:
+				walk(m.Body, 0)
+				return false
+			case *ast.SelectStmt:
+				if loopDepth > 0 && !hasDefault(m) && !hasEscapeCase(pass.TypesInfo, m) {
+					pass.Reportf(m.Pos(), "select inside a loop has no cancellation case: add ctx.Done(), a shutdown channel, or a timer so the goroutine cannot park forever")
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+}
+
+// hasEscapeCase reports whether any comm case receives from a channel
+// that signals shutdown or the passage of time.
+func hasEscapeCase(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var ch ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ch = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					ch = u.X
+				}
+			}
+		}
+		if ch == nil {
+			continue
+		}
+		if isEscapeChan(info, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+func isEscapeChan(info *types.Info, ch ast.Expr) bool {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.CallExpr:
+		// ctx.Done(), time.After(d), time.Tick(d).
+		if fn := analysis.CalleeFunc(info, e); fn != nil {
+			if fn.Name() == "Done" {
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					if tv, ok := info.Types[sel.X]; ok && analysis.IsContext(tv.Type) {
+						return true
+					}
+				}
+			}
+			if analysis.PkgPathOf(fn) == "time" && (fn.Name() == "After" || fn.Name() == "Tick") {
+				return true
+			}
+		}
+		// Method values like t.C() or named accessors that look like
+		// shutdown signals.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && escapeName.MatchString(sel.Sel.Name) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// ticker.C / timer.C, or a done/closed/quit field.
+		if e.Sel.Name == "C" || escapeName.MatchString(e.Sel.Name) {
+			return true
+		}
+	case *ast.Ident:
+		if escapeName.MatchString(e.Name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/ctxcheck"
+)
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, ctxcheck.Analyzer, "testdata/src/internal/service")
+}

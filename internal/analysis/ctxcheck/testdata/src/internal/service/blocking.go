@@ -1,0 +1,100 @@
+// Package service seeds cancellation-discipline violations for ctxcheck.
+// Its fixture path puts it in the blocking-path scope, where exported
+// blocking functions must take a context and select loops must be able to
+// escape.
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func Collect(ch chan int) int { // want `exported function Collect blocks`
+	return <-ch
+}
+
+func Flush(wg *sync.WaitGroup) { // want `exported function Flush blocks`
+	wg.Wait()
+}
+
+func Nap() { // want `exported function Nap blocks`
+	time.Sleep(10 * time.Millisecond)
+}
+
+type Server struct{ jobs chan int }
+
+func (s *Server) Submit(job int) { // want `exported method Submit blocks`
+	s.jobs <- job
+}
+
+//ifdk:noctx
+func Drain(ch chan int) int { // want `needs a reason`
+	return <-ch
+}
+
+func pump(in, out chan int) {
+	for {
+		select { // want `no cancellation case`
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// --- clean -----------------------------------------------------------
+
+// CollectCtx threads cancellation, so blocking is fine.
+func CollectCtx(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// TryNotify only performs a non-blocking send: a select with a default
+// case cannot park (the events.Publish pattern).
+func TryNotify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+//ifdk:noctx cancellation is Close, which closes the channel and wakes receivers
+func Waived(ch chan int) int {
+	return <-ch
+}
+
+func pumpCtx(ctx context.Context, in, out chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+func pumpStop(stop chan struct{}, in chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-in:
+		}
+	}
+}
+
+func pumpTimer(t *time.Ticker, in chan int) {
+	for {
+		select {
+		case <-t.C:
+			return
+		case <-in:
+		}
+	}
+}

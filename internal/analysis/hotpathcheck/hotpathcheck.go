@@ -1,0 +1,327 @@
+// Package hotpathcheck is the repo-wide allocation gate behind the
+// paper's zero-allocation pipeline claim. Functions annotated with a
+// "//ifdk:hotpath" doc directive (kernels fast paths, the filter row
+// loop, back-projection inner loops, pooled MPI collectives) are rejected
+// if they contain heap-allocating constructs:
+//
+//   - append (backing-array growth), make/new, slice or map composite
+//     literals, &composite (heap escape)
+//   - closures, except a func literal passed directly to a call (the
+//     engine.ParallelRange pattern: one closure per sweep, amortized over
+//     the whole row space)
+//   - fmt/errors calls, string concatenation, []byte<->string
+//     conversions, explicit conversions to interface types
+//   - go statements
+//
+// Early-exit blocks — an if body whose last statement is a return — are
+// cold paths (validation errors) and are exempt, so hot functions keep
+// ordinary Go error handling. The three bespoke alloc-regression
+// benchmarks still gate end-to-end counts; this pass catches the
+// construct at the line that introduces it, before a benchmark drifts.
+package hotpathcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ifdk/internal/analysis"
+)
+
+// Analyzer is the hotpathcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathcheck",
+	Doc:  "reject heap-allocating constructs in //ifdk:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasAnnotation(fd.Doc, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, fname: fd.Name.Name}
+			c.block(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	fname string
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, "hot path %s: "+format, append([]any{c.fname}, args...)...)
+}
+
+// block walks a statement list; cold suppresses reports (early-exit
+// error paths).
+func (c *checker) block(b *ast.BlockStmt, cold bool) {
+	for _, s := range b.List {
+		c.stmt(s, cold)
+	}
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, cold bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		c.block(s, cold)
+	case *ast.IfStmt:
+		c.stmt(s.Init, cold)
+		c.expr(s.Cond, cold)
+		// An if body that exits the function is a cold path: validation
+		// and error returns keep their allocations.
+		c.block(s.Body, cold || endsInReturn(s.Body))
+		c.stmt(s.Else, cold)
+	case *ast.ForStmt:
+		c.stmt(s.Init, cold)
+		c.expr(s.Cond, cold)
+		c.stmt(s.Post, cold)
+		c.block(s.Body, cold)
+	case *ast.RangeStmt:
+		c.expr(s.X, cold)
+		c.block(s.Body, cold)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, cold)
+		c.expr(s.Tag, cold)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, e := range cc.List {
+				c.expr(e, cold)
+			}
+			body := &ast.BlockStmt{List: cc.Body}
+			coldCase := cold || endsInReturn(body)
+			for _, st := range cc.Body {
+				c.stmt(st, coldCase)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, cold)
+		c.stmt(s.Assign, cold)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, st := range cc.Body {
+				c.stmt(st, cold)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			c.stmt(cc.Comm, cold)
+			for _, st := range cc.Body {
+				c.stmt(st, cold)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, cold)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, cold)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X, cold)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, cold)
+		}
+	case *ast.GoStmt:
+		if !cold {
+			c.reportf(s.Pos(), "go statement spawns a goroutine per call")
+		}
+		c.expr(s.Call, cold)
+	case *ast.DeferStmt:
+		c.expr(s.Call, cold)
+	case *ast.SendStmt:
+		c.expr(s.Chan, cold)
+		c.expr(s.Value, cold)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.LabeledStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.expr(e, cold)
+				return false
+			}
+			return true
+		})
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.expr(e, cold)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) expr(e ast.Expr, cold bool) {
+	if e == nil {
+		return
+	}
+	info := c.pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		c.call(e, cold)
+	case *ast.FuncLit:
+		// A bare closure (assigned, returned, stored) allocates its
+		// captures; call-argument closures are handled in call().
+		if !cold {
+			c.reportf(e.Pos(), "closure allocates its captured variables")
+		}
+		c.block(e.Body, cold)
+	case *ast.CompositeLit:
+		c.compositeLit(e, cold)
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && e.Op == token.AND {
+			if !cold {
+				c.reportf(e.Pos(), "&composite literal escapes to the heap")
+			}
+			c.compositeElems(lit, cold)
+			return
+		}
+		c.expr(e.X, cold)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && !cold {
+			if tv, ok := info.Types[e]; ok && tv.Value == nil && isString(tv.Type) {
+				c.reportf(e.Pos(), "string concatenation allocates")
+			}
+		}
+		c.expr(e.X, cold)
+		c.expr(e.Y, cold)
+	case *ast.ParenExpr:
+		c.expr(e.X, cold)
+	case *ast.StarExpr:
+		c.expr(e.X, cold)
+	case *ast.SelectorExpr:
+		c.expr(e.X, cold)
+	case *ast.IndexExpr:
+		c.expr(e.X, cold)
+		c.expr(e.Index, cold)
+	case *ast.IndexListExpr:
+		c.expr(e.X, cold)
+	case *ast.SliceExpr:
+		c.expr(e.X, cold)
+		c.expr(e.Low, cold)
+		c.expr(e.High, cold)
+		c.expr(e.Max, cold)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, cold)
+	case *ast.KeyValueExpr:
+		c.expr(e.Key, cold)
+		c.expr(e.Value, cold)
+	}
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit, cold bool) {
+	if !cold {
+		if tv, ok := c.pass.TypesInfo.Types[lit]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				c.reportf(lit.Pos(), "slice literal allocates")
+			case *types.Map:
+				c.reportf(lit.Pos(), "map literal allocates")
+			}
+		}
+	}
+	c.compositeElems(lit, cold)
+}
+
+func (c *checker) compositeElems(lit *ast.CompositeLit, cold bool) {
+	for _, el := range lit.Elts {
+		c.expr(el, cold)
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr, cold bool) {
+	info := c.pass.TypesInfo
+
+	// Type conversions: string round trips and interface boxing allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if !cold && len(call.Args) == 1 {
+			target := tv.Type
+			if argTV, ok := info.Types[call.Args[0]]; ok {
+				switch {
+				case isString(target) && !isString(argTV.Type) && argTV.Value == nil:
+					c.reportf(call.Pos(), "conversion to string allocates")
+				case isByteOrRuneSlice(target) && isString(argTV.Type):
+					c.reportf(call.Pos(), "string to slice conversion allocates")
+				case types.IsInterface(target.Underlying()) && !types.IsInterface(argTV.Type.Underlying()):
+					c.reportf(call.Pos(), "conversion to interface type boxes its operand")
+				}
+			}
+		}
+		for _, a := range call.Args {
+			c.expr(a, cold)
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !cold {
+			switch obj.Name() {
+			case "append":
+				c.reportf(call.Pos(), "append may grow its backing array on the hot path")
+			case "make":
+				c.reportf(call.Pos(), "make allocates")
+			case "new":
+				c.reportf(call.Pos(), "new allocates")
+			}
+		}
+	}
+	if fn := analysis.CalleeFunc(info, call); fn != nil && !cold {
+		switch analysis.PkgPathOf(fn) {
+		case "fmt":
+			c.reportf(call.Pos(), "fmt.%s allocates (formatting, interface boxing)", fn.Name())
+		case "errors":
+			c.reportf(call.Pos(), "errors.%s allocates", fn.Name())
+		}
+	}
+
+	c.expr(call.Fun, cold)
+	for _, a := range call.Args {
+		// A func literal passed directly to a call is the scheduler
+		// pattern (one closure per sweep): scan its body, don't flag the
+		// literal itself.
+		if fl, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			c.block(fl.Body, cold)
+			continue
+		}
+		c.expr(a, cold)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

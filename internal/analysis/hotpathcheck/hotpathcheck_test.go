@@ -1,0 +1,12 @@
+package hotpathcheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/hotpathcheck"
+)
+
+func TestHotPathCheck(t *testing.T) {
+	analysistest.Run(t, hotpathcheck.Analyzer, "testdata/src/internal/ct/hotfix")
+}

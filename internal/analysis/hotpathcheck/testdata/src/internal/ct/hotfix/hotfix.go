@@ -1,0 +1,100 @@
+// Package hotfix seeds allocation-gate violations for hotpathcheck: the
+// annotated functions contain the heap-allocating constructs the gate
+// rejects, plus the two deliberate exemptions (cold early-exit blocks and
+// the scheduler closure pattern).
+package hotfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+//ifdk:hotpath
+func badAppend(xs []int) []int {
+	xs = append(xs, 1) // want `append may grow its backing array`
+	return xs
+}
+
+//ifdk:hotpath
+func badMake(n int) []float32 {
+	return make([]float32, n) // want `make allocates`
+}
+
+//ifdk:hotpath
+func badLiterals() int {
+	xs := []int{1, 2, 3}          // want `slice literal allocates`
+	m := map[string]int{"one": 1} // want `map literal allocates`
+	return len(xs) + len(m)
+}
+
+type point struct{ x, y int }
+
+//ifdk:hotpath
+func badAddr() *point {
+	return &point{1, 2} // want `&composite literal escapes to the heap`
+}
+
+//ifdk:hotpath
+func badClosure(n int) func() int {
+	f := func() int { return n } // want `closure allocates its captured variables`
+	return f
+}
+
+func worker(ch chan int) { ch <- 1 }
+
+//ifdk:hotpath
+func badGo(ch chan int) {
+	go worker(ch) // want `go statement spawns a goroutine`
+}
+
+//ifdk:hotpath
+func badFmt(n int) {
+	fmt.Println("n =", n) // want `fmt.Println allocates`
+}
+
+//ifdk:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//ifdk:hotpath
+func badConversions(s string, v int) ([]byte, any) {
+	bs := []byte(s)   // want `string to slice conversion allocates`
+	return bs, any(v) // want `conversion to interface type boxes its operand`
+}
+
+//ifdk:hotpath
+func coldPathExempt(n int) error {
+	if n < 0 {
+		// The early-exit error path is cold: its allocations are fine.
+		return fmt.Errorf("negative count %d", n)
+	}
+	return errors.New("hot") // want `errors.New allocates`
+}
+
+// --- clean -----------------------------------------------------------
+
+// Unannotated functions are never gated.
+func coldSetup(n int) []float32 { return make([]float32, n) }
+
+func parallelRange(n int, body func(lo, hi int)) { body(0, n) }
+
+//ifdk:hotpath
+func okKernel(dst, src []float32) {
+	n := len(src)
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] * 2
+	}
+}
+
+//ifdk:hotpath
+func okSweep(xs []float32) {
+	// A func literal passed directly to a call is the scheduler pattern
+	// (one closure per sweep): the literal is exempt, its body is not.
+	parallelRange(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] *= 2
+		}
+	})
+}

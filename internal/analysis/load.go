@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("ifdk/internal/service"); Dir the source
+	// directory on disk.
+	Path string
+	Dir  string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks module-local packages with full syntax and
+// type information. Standard-library imports resolve through the
+// toolchain's export data when available, falling back to type-checking
+// from GOROOT source, so loading works offline in the build container and
+// on CI runners alike.
+type Loader struct {
+	ModRoot string // directory containing go.mod
+	ModPath string // module path declared in go.mod
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package // module-local, by import path
+	loading map[string]bool     // import-cycle guard
+	gc      types.Importer      // std via export data (fast)
+	source  types.Importer      // std via GOROOT source (always works)
+}
+
+// NewLoader locates the enclosing module starting from dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		gc:      importer.ForCompiler(fset, "gc", nil),
+		source:  importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the given patterns to module-local packages and
+// type-checks them (plus everything they import). Accepted patterns:
+//
+//   - "./..." — every package under the module root, skipping testdata
+//   - "./rel/dir" or "rel/dir" — one package by module-relative directory
+//   - "ifdk/x/y" — one package by full import path
+//
+// Testdata packages are never matched by "./..." but load fine when named
+// explicitly — the analysistest harness relies on that.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			rel = strings.TrimPrefix(rel, l.ModPath+"/")
+			if rel == l.ModPath {
+				rel = "."
+			}
+			add(path.Clean(rel))
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, rel := range paths {
+		pkg, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walkModule returns the module-relative directories of every buildable
+// package under the module root, excluding testdata and hidden trees.
+func (l *Loader) walkModule() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := build.ImportDir(p, 0); err == nil && len(bp.GoFiles) > 0 {
+			rel, err := filepath.Rel(l.ModRoot, p)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// loadDir loads the package in the module-relative directory rel. It
+// returns (nil, nil) when the directory holds no buildable Go files.
+func (l *Loader) loadDir(rel string) (*Package, error) {
+	importPath := l.ModPath
+	if rel != "." {
+		importPath = l.ModPath + "/" + rel
+	}
+	pkg, err := l.loadLocal(importPath)
+	if err != nil {
+		if _, none := err.(*build.NoGoError); none {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// loadLocal loads a module-local package by import path, memoized.
+func (l *Loader) loadLocal(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := "."
+	if importPath != l.ModPath {
+		rel = strings.TrimPrefix(importPath, l.ModPath+"/")
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 10
+		if len(typeErrs) > max {
+			typeErrs = append(typeErrs[:max], "...")
+		}
+		return nil, fmt.Errorf("analysis: type errors in %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+
+	pkg := &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-local paths
+// load from source; everything else tries toolchain export data first and
+// falls back to GOROOT source.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(importPath string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if importPath == l.ModPath || strings.HasPrefix(importPath, l.ModPath+"/") {
+		pkg, err := l.loadLocal(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.gc.Import(importPath); err == nil {
+		return pkg, nil
+	}
+	return l.source.Import(importPath)
+}

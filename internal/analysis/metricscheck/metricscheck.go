@@ -1,0 +1,183 @@
+// Package metricscheck enforces obs metric-registry discipline at every
+// registration site, in any package:
+//
+//   - metric and label names are compile-time constant strings — dynamic
+//     names defeat dashboards and make duplicates unauditable
+//   - names are Prometheus-legal ([a-zA-Z_:][a-zA-Z0-9_:]*; labels may
+//     not use ':' or the reserved "__" prefix, and histograms may not
+//     declare the reserved "le" label)
+//   - the same name is not registered twice on the same registry — obs
+//     panics on duplicates, but only at runtime on the code path that
+//     registers second
+package metricscheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ifdk/internal/analysis"
+)
+
+// Analyzer is the metricscheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricscheck",
+	Doc:  "enforce obs metric registry discipline (legal constant names, no duplicate registration)",
+	Run:  run,
+}
+
+// registerMethods maps obs.Registry registration methods to the argument
+// index where label names start (-1: no label name variadics; SampleFunc
+// takes its labels as a []string literal at index 3).
+var registerMethods = map[string]int{
+	"Counter": -1, "Gauge": -1, "Histogram": -1,
+	"GaugeFunc": -1, "CounterFunc": -1,
+	"CounterVec": 2, "GaugeVec": 2, "HistogramVec": 3,
+	"SampleFunc": -1,
+}
+
+func run(pass *analysis.Pass) error {
+	// Registration sites grouped by (receiver object, metric name): a
+	// second registration of one name on one registry is a guaranteed
+	// runtime panic.
+	type regKey struct {
+		recv types.Object
+		name string
+	}
+	first := make(map[regKey]token.Pos)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			labelStart, isReg := registerMethods[nameOf(fn)]
+			if !isReg || fn == nil {
+				return true
+			}
+			if pkg, typ, ok := analysis.ReceiverNamed(fn); !ok || typ != "Registry" || analysis.Rel(pkg) != "internal/obs" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+
+			name, isConst := analysis.ConstString(pass.TypesInfo, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a constant string: dynamic names cannot be audited for duplicates or dashboard use")
+				return true
+			}
+			if !legalMetricName(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q is not Prometheus-legal (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name)
+			}
+
+			if recv := receiverObj(pass.TypesInfo, call); recv != nil {
+				key := regKey{recv, name}
+				if pos, dup := first[key]; dup {
+					pass.Reportf(call.Args[0].Pos(), "metric %q already registered on this registry at %s (obs panics on duplicate registration)",
+						name, pass.Fset.Position(pos))
+				} else {
+					first[key] = call.Args[0].Pos()
+				}
+			}
+
+			isHist := fn.Name() == "Histogram" || fn.Name() == "HistogramVec"
+			for _, lab := range labelArgs(call, fn.Name(), labelStart) {
+				lname, isConst := analysis.ConstString(pass.TypesInfo, lab)
+				if !isConst {
+					pass.Reportf(lab.Pos(), "label name must be a constant string")
+					continue
+				}
+				if !legalLabelName(lname) {
+					pass.Reportf(lab.Pos(), "label name %q is not Prometheus-legal (want [a-zA-Z_][a-zA-Z0-9_]*, no __ prefix)", lname)
+				}
+				if isHist && lname == "le" {
+					pass.Reportf(lab.Pos(), "histogram label %q is reserved for bucket bounds", lname)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func nameOf(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// labelArgs extracts the label-name expressions of a registration call:
+// trailing variadic strings for the Vec constructors, the []string
+// composite literal for SampleFunc.
+func labelArgs(call *ast.CallExpr, method string, labelStart int) []ast.Expr {
+	if method == "SampleFunc" {
+		if len(call.Args) > 3 {
+			if lit, ok := ast.Unparen(call.Args[3]).(*ast.CompositeLit); ok {
+				return lit.Elts
+			}
+		}
+		return nil
+	}
+	if labelStart < 0 || len(call.Args) <= labelStart {
+		return nil
+	}
+	return call.Args[labelStart:]
+}
+
+// receiverObj resolves the registry expression a method is called on to a
+// stable object (variable or field), so duplicate detection can group
+// registrations on the same registry. Unresolvable receivers (call
+// results, complex expressions) return nil and are skipped.
+func receiverObj(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func legalMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func legalLabelName(s string) bool {
+	if s == "" || len(s) >= 2 && s[0] == '_' && s[1] == '_' {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package metricscheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/metricscheck"
+)
+
+func TestMetricsCheck(t *testing.T) {
+	analysistest.Run(t, metricscheck.Analyzer, "testdata/src/internal/ct/metricsfix")
+}

@@ -1,0 +1,31 @@
+// Package metricsfix seeds metric-registry violations for metricscheck:
+// illegal and dynamic names, reserved labels, and the double registration
+// that obs only catches by panicking at runtime.
+package metricsfix
+
+import "ifdk/internal/obs"
+
+var reg = obs.NewRegistry()
+
+func registerBadly(suffix string) {
+	reg.Counter("jobs_total", "accepted jobs")
+	reg.Counter("jobs_total", "dup") // want `already registered on this registry`
+	reg.Gauge("queue-depth", "x")    // want `not Prometheus-legal`
+	reg.Gauge("9lives", "x")         // want `not Prometheus-legal`
+	reg.Counter("jobs_"+suffix, "x") // want `must be a constant string`
+
+	reg.CounterVec("rpc_total", "rpcs", "method", "bad-label")        // want `label name "bad-label" is not Prometheus-legal`
+	reg.GaugeVec("inflight", "in flight", "__reserved")               // want `label name "__reserved" is not Prometheus-legal`
+	reg.HistogramVec("lat_seconds", "latency", []float64{1, 2}, "le") // want `reserved for bucket bounds`
+}
+
+// --- clean -----------------------------------------------------------
+
+const nameScans = "scans_total"
+
+func registerWell(other *obs.Registry) {
+	reg.Counter(nameScans, "completed scans")
+	other.Counter("jobs_total", "same name, different registry")
+	reg.HistogramVec("filter_seconds", "filter latency", []float64{0.1, 1}, "node", "rank")
+	reg.SampleFunc("pool_in_use_bytes", "pooled bytes", "gauge", []string{"pool"}, nil)
+}

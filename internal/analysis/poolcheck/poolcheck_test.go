@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, poolcheck.Analyzer, "testdata/src/internal/ct/poolfix")
+}

@@ -1,0 +1,157 @@
+// Package slogcheck enforces the fleet's logging discipline in daemon and
+// service code, replacing the brittle CI grep gate with an AST-level
+// check:
+//
+//   - no fmt.Print*/log.Print* (or builtin print/println) — daemon output
+//     flows through structured slog or not at all
+//   - loggers are constructed via obs.NewLogger, which folds the component
+//     and node identity into every record; raw slog.New / package-level
+//     slog.Info etc. bypass that contract
+//   - slog key/value calls have even arity with constant string keys, so
+//     records never degrade to !BADKEY noise in production logs
+package slogcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ifdk/internal/analysis"
+)
+
+// Scopes lists the module-relative package prefixes the logging
+// discipline applies to — the long-running daemon and service planes.
+// Library and compute packages may print (tools, examples, benchmarks).
+var Scopes = []string{
+	"cmd/ifdkd",
+	"cmd/ifdk-router",
+	"internal/service",
+	"internal/router",
+	"internal/obs",
+}
+
+// Analyzer is the slogcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "slogcheck",
+	Doc:  "enforce structured logging discipline in daemon/service code",
+	Run:  run,
+}
+
+// printFuncs are the ad-hoc printing entry points banned in scope.
+var printFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true},
+}
+
+// rawConstructors are the log/slog entry points that mint or install
+// loggers without the fleet's component/node fields.
+var rawConstructors = map[string]bool{
+	"New": true, "Default": true, "SetDefault": true,
+	"NewTextHandler": true, "NewJSONHandler": true,
+}
+
+// levelMethods maps slog.Logger methods to the index of their first
+// key/value argument.
+var levelMethods = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log": 3, "With": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Path, Scopes) {
+		return nil
+	}
+	inObs := analysis.Rel(pass.Path) == "internal/obs"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() == nil &&
+					(id.Name == "print" || id.Name == "println") {
+					pass.Reportf(call.Pos(), "builtin %s in daemon/service code: log through the obs slog logger", id.Name)
+					return true
+				}
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			pkgPath := analysis.PkgPathOf(fn)
+			switch pkgPath {
+			case "fmt", "log":
+				if printFuncs[pkgPath][fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s in daemon/service code: log through the obs slog logger", pkgPath, fn.Name())
+				}
+			case "log/slog":
+				checkSlog(pass, call, fn, inObs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSlog(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, inObs bool) {
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	if !isMethod {
+		if !inObs && rawConstructors[name] {
+			pass.Reportf(call.Pos(), "slog.%s bypasses the fleet logger contract: construct loggers via obs.NewLogger so records carry component/node fields", name)
+			return
+		}
+		if _, isLevel := levelMethods[name]; isLevel && !inObs {
+			pass.Reportf(call.Pos(), "package-level slog.%s logs through the default logger without component/node fields: use a logger from obs.NewLogger", name)
+			// Fall through: arity still worth checking.
+		}
+	}
+	kvStart, ok := levelMethods[name]
+	if !ok {
+		return
+	}
+	if isMethod {
+		// Only *slog.Logger methods carry the key/value convention.
+		if pkg, typ, ok := analysis.ReceiverNamed(fn); !ok || pkg != "log/slog" || typ != "Logger" {
+			return
+		}
+	}
+	if call.Ellipsis.IsValid() || len(call.Args) <= kvStart {
+		return
+	}
+	args := call.Args[kvStart:]
+	for i := 0; i < len(args); {
+		if isSlogAttr(pass.TypesInfo, args[i]) {
+			i++
+			continue
+		}
+		key, isConst := analysis.ConstString(pass.TypesInfo, args[i])
+		if !isConst {
+			pass.Reportf(args[i].Pos(), "slog key must be a constant string (or slog.Attr): dynamic keys defeat log indexing")
+			return
+		}
+		if i+1 >= len(args) {
+			pass.Reportf(args[i].Pos(), "slog key %q has no value: key/value arguments must pair up", key)
+			return
+		}
+		i += 2
+	}
+}
+
+func isSlogAttr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Attr" && analysis.PkgPathOf(obj) == "log/slog"
+}

@@ -1,0 +1,12 @@
+package slogcheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/slogcheck"
+)
+
+func TestSlogCheck(t *testing.T) {
+	analysistest.Run(t, slogcheck.Analyzer, "testdata/src/internal/service")
+}

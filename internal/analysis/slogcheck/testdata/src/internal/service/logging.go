@@ -1,0 +1,46 @@
+// Package service seeds logging-discipline violations for slogcheck. Its
+// fixture path puts it in the daemon/service scope, where stdout printing
+// and raw slog construction are banned.
+package service
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func logBadly(n int, err error) {
+	fmt.Println("starting", n)       // want `fmt.Println in daemon/service code`
+	fmt.Printf("n=%d\n", n)          // want `fmt.Printf in daemon/service code`
+	log.Printf("count=%d", n)        // want `log.Printf in daemon/service code`
+	println("debug")                 // want `builtin println in daemon/service code`
+	slog.Error("failed", "err", err) // want `package-level slog.Error`
+}
+
+func rawConstruction() *slog.Logger {
+	h := slog.NewJSONHandler(os.Stderr, nil) // want `slog.NewJSONHandler bypasses the fleet logger contract`
+	return slog.New(h)                       // want `slog.New bypasses the fleet logger contract`
+}
+
+func arity(logger *slog.Logger, user string, jobs int) {
+	logger.Info("accepted", "jobs", jobs, user) // want `slog key must be a constant string`
+	logger.Warn("queue full", "depth")          // want `has no value`
+}
+
+// --- clean -----------------------------------------------------------
+
+const keyComponent = "component"
+
+func logWell(logger *slog.Logger, jobs int, err error) {
+	logger.Info("accepted", "jobs", jobs, slog.Int("queued", 2))
+	logger.With(keyComponent, "service").Debug("draining")
+	if err != nil {
+		logger.Error("reconstruction failed", "err", err)
+	}
+}
+
+// Writing to an explicit io.Writer is not stdout printing.
+func logToWriter(n int) {
+	fmt.Fprintf(os.Stderr, "emergency: %d\n", n)
+}

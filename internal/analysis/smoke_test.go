@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis"
+	"ifdk/internal/analysis/ctxcheck"
+	"ifdk/internal/analysis/hotpathcheck"
+	"ifdk/internal/analysis/metricscheck"
+	"ifdk/internal/analysis/poolcheck"
+	"ifdk/internal/analysis/slogcheck"
+)
+
+// TestRepoIsVetClean is the same run CI performs with `go run
+// ./cmd/ifdk-vet ./...`: every analyzer over every package of the module,
+// expecting zero findings. It keeps the tree vet-clean even when run
+// through plain `go test ./...`.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — the module walk looks broken", len(pkgs))
+	}
+	all := []*analysis.Analyzer{
+		poolcheck.Analyzer,
+		hotpathcheck.Analyzer,
+		slogcheck.Analyzer,
+		ctxcheck.Analyzer,
+		metricscheck.Analyzer,
+	}
+	diags, err := analysis.Run(all, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("ifdk-vet finding: %s", d)
+	}
+}

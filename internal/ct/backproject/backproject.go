@@ -103,6 +103,8 @@ var ProposedVariant = Variant{Symmetry: true, Reuse: true, Transpose: true}
 // exactly: three inner products and a full interpolation per voxel per
 // projection. Parallelism is over Z slabs; accumulation per voxel stays in
 // ascending projection order.
+//
+//ifdk:hotpath
 func Standard(task Task, vol *volume.Volume, opt Options) error {
 	if err := task.Validate(); err != nil {
 		return err
@@ -278,6 +280,8 @@ func Ablate(task Task, vol *volume.Volume, opt Options, va Variant) error {
 // the voxel-at-a-time loop — but the inner walk is now stride-1 along both
 // the transposed detector rows and the line buffers, which is what
 // kernels.AccumLinePair vectorizes.
+//
+//ifdk:hotpath
 func proposedColumns(task Task, vol *volume.Volume, opt Options) error {
 	nx, ny, nz := vol.Nx, vol.Ny, vol.Nz
 	w, h := task.Proj[0].W, task.Proj[0].H
@@ -337,6 +341,8 @@ func proposedColumns(task Task, vol *volume.Volume, opt Options) error {
 
 // sampleProj interpolates the projection at detector coordinates (u, v).
 // For a transposed projection the axes are swapped: V is the fast axis.
+//
+//ifdk:hotpath
 func sampleProj(data []float32, w, h int, u, v float32, transposed bool) float32 {
 	if transposed {
 		return interp.Bilinear(data, w, h, v, u)

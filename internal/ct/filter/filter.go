@@ -223,6 +223,8 @@ func (f *Filterer) Apply(e *volume.Image) (*volume.Image, error) {
 // back, so in-place filtering is safe — the pipeline filters each loaded
 // projection in place and never allocates a second image. Steady state
 // performs zero heap allocations.
+//
+//ifdk:hotpath
 func (f *Filterer) ApplyInto(e, q *volume.Image) error {
 	if e.W != f.g.Nu || e.H != f.g.Nv {
 		return fmt.Errorf("filter: projection %dx%d does not match geometry %dx%d",
@@ -245,6 +247,8 @@ func (f *Filterer) ApplyInto(e, q *volume.Image) error {
 // filterRowRFFT is the hot path: cosine-weight the row, transform with the
 // half-spectrum real plan, scale each bin by the real ramp gain, transform
 // back. All arithmetic is float32; the O(Nu) loops are kernels calls.
+//
+//ifdk:hotpath
 func (f *Filterer) filterRowRFFT(in, cos, out, row []float32, spec []complex64) {
 	kernels.CosineWeight(row, in, cos) // point-wise ·F_cos
 	clear(row[len(in):])
@@ -297,6 +301,8 @@ func (f *Filterer) filterRow(in, cos, out []float32, buf []complex128) {
 // staged through pooled scratch, as in ApplyInto). Dimensions are validated
 // up front; nothing is written when an error is returned. Steady state
 // allocates nothing beyond the scheduler's pooled job descriptors.
+//
+//ifdk:hotpath
 func (f *Filterer) Sweep(ins, outs []*volume.Image, workers int) error {
 	if len(ins) != len(outs) {
 		return fmt.Errorf("filter: sweep over %d inputs with %d outputs", len(ins), len(outs))

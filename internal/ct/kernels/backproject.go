@@ -27,6 +27,8 @@ import "ifdk/internal/ct/interp"
 //	us[t], fs[t], ws[t] = x/z, 1/z, 1/z²
 //
 // us, fs and ws must be at least len(rows) long.
+//
+//ifdk:hotpath
 func ColumnGeom(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
 	if fastEnabled.Load() {
 		columnGeomFast(us, fs, ws, rows, fi, fj)
@@ -36,6 +38,8 @@ func ColumnGeom(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
 }
 
 // ColumnGeomRef is the scalar reference for ColumnGeom.
+//
+//ifdk:hotpath
 func ColumnGeomRef(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
 	for t := range rows {
 		r := &rows[t]
@@ -48,6 +52,7 @@ func ColumnGeomRef(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
 	}
 }
 
+//ifdk:hotpath
 func columnGeomFast(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) {
 	n := len(rows)
 	us = us[:n]
@@ -78,6 +83,8 @@ func columnGeomFast(us, fs, ws []float32, rows [][3][4]float32, fi, fj float32) 
 //	sym[kk] += wdis·proj(vm1-v, u)
 //
 // len(sym) must equal len(sum).
+//
+//ifdk:hotpath
 func AccumLinePair(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
 	if fastEnabled.Load() {
 		accumLinePairFast(sum, sym, proj, rw, rh, u, f, wdis, yb, ry2, ry3, vm1, k0)
@@ -89,6 +96,8 @@ func AccumLinePair(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry
 // AccumLinePairRef is the scalar reference for AccumLinePair: the loop body
 // is exactly the pre-kernel per-voxel code, one interp.Bilinear call per
 // sample.
+//
+//ifdk:hotpath
 func AccumLinePairRef(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
 	for kk := range sum {
 		fk := float32(k0 + kk)
@@ -100,6 +109,7 @@ func AccumLinePairRef(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2,
 	}
 }
 
+//ifdk:hotpath
 func accumLinePairFast(sum, sym, proj []float32, rw, rh int, u, f, wdis, yb, ry2, ry3, vm1 float32, k0 int) {
 	// The fast path needs both detector rows floor(u) and floor(u)+1 fully
 	// inside the projection; border columns (and NaN u, which fails the

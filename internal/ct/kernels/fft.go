@@ -15,6 +15,8 @@ package kernels
 //
 // len(x) must be a multiple of size; size must be a power of two ≥ 2; tw
 // must hold at least (size/2-1)·step+1 twiddles.
+//
+//ifdk:hotpath
 func ButterflyStage(x, tw []complex64, size, step int) {
 	if fastEnabled.Load() {
 		butterflyStageFast(x, tw, size, step)
@@ -24,6 +26,8 @@ func ButterflyStage(x, tw []complex64, size, step int) {
 }
 
 // ButterflyStageRef is the scalar reference for ButterflyStage.
+//
+//ifdk:hotpath
 func ButterflyStageRef(x, tw []complex64, size, step int) {
 	half := size >> 1
 	for start := 0; start+size <= len(x); start += size {
@@ -37,6 +41,7 @@ func ButterflyStageRef(x, tw []complex64, size, step int) {
 	}
 }
 
+//ifdk:hotpath
 func butterflyStageFast(x, tw []complex64, size, step int) {
 	half := size >> 1
 	if half == 1 {
@@ -103,6 +108,8 @@ func butterflyStageFast(x, tw []complex64, size, step int) {
 // complex transform of a packed real signal: dst[:m] holds Z = FFT(z) with
 // z[j] = x[2j] + i·x[2j+1], and on return dst[0..m] holds the half spectrum
 // X[0..m]. w are the unpack twiddles exp(-2πi k/n) for k ≤ m/2 (n = 2m).
+//
+//ifdk:hotpath
 func RealUnpack(dst, w []complex64, m int) {
 	if fastEnabled.Load() {
 		realUnpackFast(dst, w, m)
@@ -117,6 +124,8 @@ func RealUnpack(dst, w []complex64, m int) {
 //	Z[k] = E[k] + i·O[k],  conj(Z[m-k]) = E[k] - i·O[k]
 //	X[k]   = E[k] + w^k·O[k]
 //	X[m-k] = conj(E[k] - w^k·O[k])
+//
+//ifdk:hotpath
 func RealUnpackRef(dst, w []complex64, m int) {
 	z := dst[:m]
 	z0 := z[0]
@@ -132,6 +141,7 @@ func RealUnpackRef(dst, w []complex64, m int) {
 	}
 }
 
+//ifdk:hotpath
 func realUnpackFast(dst, w []complex64, m int) {
 	z0 := dst[0]
 	dst[0] = complex(real(z0)+imag(z0), 0)
@@ -155,6 +165,8 @@ func realUnpackFast(dst, w []complex64, m int) {
 // RealRepack is the inverse of RealUnpack: spec[0..m] holds the half
 // spectrum X, and on return spec[:m] holds the packed m-point spectrum Z
 // whose inverse transform interleaves back to the real signal.
+//
+//ifdk:hotpath
 func RealRepack(spec, w []complex64, m int) {
 	if fastEnabled.Load() {
 		realRepackFast(spec, w, m)
@@ -168,6 +180,8 @@ func RealRepack(spec, w []complex64, m int) {
 //	E[k] = (X[k] + conj(X[m-k]))/2
 //	O[k] = conj(w^k)·(X[k] - conj(X[m-k]))/2
 //	Z[k] = E[k] + i·O[k]
+//
+//ifdk:hotpath
 func RealRepackRef(spec, w []complex64, m int) {
 	x0, xm := real(spec[0]), real(spec[m])
 	spec[0] = complex(0.5*(x0+xm), 0.5*(x0-xm))
@@ -183,6 +197,7 @@ func RealRepackRef(spec, w []complex64, m int) {
 	}
 }
 
+//ifdk:hotpath
 func realRepackFast(spec, w []complex64, m int) {
 	x0, xm := real(spec[0]), real(spec[m])
 	spec[0] = complex(0.5*(x0+xm), 0.5*(x0-xm))
@@ -207,6 +222,8 @@ func realRepackFast(spec, w []complex64, m int) {
 // operation in float32 differs from it by at most one rounding step per
 // component (double rounding of a·c-b·d), far inside the kernel parity
 // bound, and roughly halves the cost of the butterfly.
+//
+//ifdk:hotpath
 func cmul(a, w complex64) complex64 {
 	ar, ai := real(a), imag(a)
 	wr, wi := real(w), imag(w)

@@ -6,6 +6,8 @@ package kernels
 
 // CosineWeight computes dst[i] = src[i]·cos[i] for i < len(src). dst and
 // cos must be at least len(src) long; dst may alias src.
+//
+//ifdk:hotpath
 func CosineWeight(dst, src, cos []float32) {
 	if fastEnabled.Load() {
 		cosineWeightFast(dst, src, cos)
@@ -15,12 +17,15 @@ func CosineWeight(dst, src, cos []float32) {
 }
 
 // CosineWeightRef is the scalar reference for CosineWeight.
+//
+//ifdk:hotpath
 func CosineWeightRef(dst, src, cos []float32) {
 	for u := range src {
 		dst[u] = src[u] * cos[u]
 	}
 }
 
+//ifdk:hotpath
 func cosineWeightFast(dst, src, cos []float32) {
 	n := len(src)
 	// Reslicing all three operands to the common length lets the compiler
@@ -46,6 +51,8 @@ func cosineWeightFast(dst, src, cos []float32) {
 // SpectralMul scales each spectrum bin by a real gain:
 // spec[k] = spec[k]·gain[k] for k < len(gain). len(spec) must be at least
 // len(gain).
+//
+//ifdk:hotpath
 func SpectralMul(spec []complex64, gain []float32) {
 	if fastEnabled.Load() {
 		spectralMulFast(spec, gain)
@@ -55,6 +62,8 @@ func SpectralMul(spec []complex64, gain []float32) {
 }
 
 // SpectralMulRef is the scalar reference for SpectralMul.
+//
+//ifdk:hotpath
 func SpectralMulRef(spec []complex64, gain []float32) {
 	for k, g := range gain {
 		v := spec[k]
@@ -62,6 +71,7 @@ func SpectralMulRef(spec []complex64, gain []float32) {
 	}
 }
 
+//ifdk:hotpath
 func spectralMulFast(spec []complex64, gain []float32) {
 	n := len(gain)
 	spec = spec[:n]

@@ -29,6 +29,11 @@ import (
 //   - Pools are process-global and safe for concurrent use; sync.Pool
 //     backing means idle buffers are reclaimed by the garbage collector
 //     instead of pinning memory forever.
+//
+// This contract is machine-enforced: internal/analysis/poolcheck (run by
+// `go run ./cmd/ifdk-vet ./...`, a required CI step) flow-analyzes every
+// caller and rejects double releases, uses after release, foreign
+// donations and leaks on early return at build time.
 
 // ImagePool pools *volume.Image by (W, H). The zero value is ready to use.
 type ImagePool struct {

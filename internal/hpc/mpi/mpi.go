@@ -253,6 +253,8 @@ func (c *Comm) send(dst, tag int, data []float32) error {
 // sendPooled is send with the payload copy drawn from the shared block
 // pool instead of the heap; the receiving end recovers the pooled handle
 // through recvPooled and owns its release.
+//
+//ifdk:hotpath
 func (c *Comm) sendPooled(dst, tag int, data []float32) error {
 	if dst < 0 || dst >= c.Size() {
 		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.Size())
@@ -274,6 +276,8 @@ func (c *Comm) sendPooled(dst, tag int, data []float32) error {
 // accumulator moving up the tree). Ownership ALWAYS transfers: on any error
 // the block is released here, so the caller must not touch it afterwards
 // regardless of outcome.
+//
+//ifdk:hotpath
 func (c *Comm) sendBuf(dst, tag int, buf *engine.Buf[float32]) error {
 	if dst < 0 || dst >= c.Size() {
 		buf.Release()
@@ -373,6 +377,8 @@ func (c *Comm) recvEnvelope(src, tag int) (envelope, error) {
 }
 
 // Barrier blocks until every rank of the communicator has entered it.
+//
+//ifdk:noctx cancellation contract is Abort/RunContext, which wakes every parked collective
 func (c *Comm) Barrier() error {
 	s := c.shared
 	s.barrierMu.Lock()
@@ -732,6 +738,8 @@ func (c *Comm) AllReduce(data []float32, op ReduceOp) ([]float32, error) {
 // new communicator, ordered by (key, rank). Every rank of the parent must
 // call Split. iFDK uses two splits to build the R×C grid: one by row index,
 // one by column index (Sec. 4.1.1).
+//
+//ifdk:noctx cancellation contract is Abort/RunContext, which wakes every parked collective
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	if c.shared.w.aborted.Load() {
 		return nil, ErrAborted

@@ -197,6 +197,8 @@ func New(opt Options) (*Router, error) {
 }
 
 // Close stops the health loop. In-flight proxied requests are unaffected.
+//
+//ifdk:noctx shutdown join: the wait is bounded by the health loop observing stop
 func (rt *Router) Close() {
 	rt.startOnce.Do(func() { close(rt.stop) })
 	rt.healthWG.Wait()

@@ -132,6 +132,8 @@ func (q *Queue) effective(base Priority, waited time.Duration) int {
 
 // Pop blocks until a job is available and returns it; after Close the
 // remaining jobs are drained, then Pop reports ok == false.
+//
+//ifdk:noctx cancellation is Close, whose cond broadcast wakes every parked worker
 func (q *Queue) Pop() (*Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
