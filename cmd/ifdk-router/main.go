@@ -5,8 +5,9 @@
 // SSE event streams and mid-run multipart slice streams proxy through
 // unbuffered; /v1/metrics aggregates the whole fleet (GET /metrics serves
 // the router's own Prometheus registry); trace context propagates through
-// every submission; and a health loop reroutes pending (never-started) jobs
-// off dead backends.
+// every submission; and a health loop reroutes every non-terminal job —
+// queued or running — off dead backends by deterministic re-execution on a
+// survivor, with live SSE/stream subscribers relayed across the takeover.
 //
 //	ifdkd -addr :8081 -node b0 &
 //	ifdkd -addr :8082 -node b1 &
@@ -68,18 +69,22 @@ func main() {
 		"comma-separated backends, name=url pairs (bare urls get b0,b1,... names matching each ifdkd's -node)")
 	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "backend health probe period")
 	deadAfter := flag.Int("dead-after", 2, "consecutive failed probes before a backend is dead")
+	terminalTTL := flag.Duration("terminal-ttl", 10*time.Minute,
+		"forget terminal job routes after this long (negative = only under route-table pressure)")
+	failoverWait := flag.Duration("failover-wait", 30*time.Second,
+		"how long relayed event/slice streams wait for a dead route to fail over before giving up")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON records instead of text")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (off when empty)")
 	flag.Parse()
 
-	if err := run(*addr, *backends, *healthEvery, *deadAfter, *logJSON, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *backends, *healthEvery, *deadAfter, *terminalTTL, *failoverWait, *logJSON, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdk-router:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int, logJSON bool, logLevel, debugAddr string) error {
+func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int, terminalTTL, failoverWait time.Duration, logJSON bool, logLevel, debugAddr string) error {
 	bs, err := parseBackends(backendSpec)
 	if err != nil {
 		return err
@@ -91,10 +96,12 @@ func run(addr, backendSpec string, healthEvery time.Duration, deadAfter int, log
 	logger := obs.NewLogger(os.Stderr, obs.NewLoggerOptions{JSON: logJSON, Level: level}, "ifdk-router", "")
 
 	rt, err := router.New(router.Options{
-		Backends:    bs,
-		HealthEvery: healthEvery,
-		DeadAfter:   deadAfter,
-		Logger:      logger,
+		Backends:     bs,
+		HealthEvery:  healthEvery,
+		DeadAfter:    deadAfter,
+		TerminalTTL:  terminalTTL,
+		FailoverWait: failoverWait,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err

@@ -2,9 +2,10 @@
 // analyzers in internal/analysis/... over the given packages and exits
 // non-zero if any invariant the compiler cannot see is violated — the
 // engine pool ownership contract (poolcheck), the //ifdk:hotpath
-// allocation gate (hotpathcheck), structured-logging discipline
-// (slogcheck), cancellation threading (ctxcheck) and obs metric registry
-// discipline (metricscheck).
+// allocation gate (hotpathcheck), the //ifdk:journal fsync-before-ack
+// contract (journalcheck), structured-logging discipline (slogcheck),
+// cancellation threading (ctxcheck) and obs metric registry discipline
+// (metricscheck).
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"ifdk/internal/analysis"
 	"ifdk/internal/analysis/ctxcheck"
 	"ifdk/internal/analysis/hotpathcheck"
+	"ifdk/internal/analysis/journalcheck"
 	"ifdk/internal/analysis/metricscheck"
 	"ifdk/internal/analysis/poolcheck"
 	"ifdk/internal/analysis/slogcheck"
@@ -31,6 +33,7 @@ import (
 var all = []*analysis.Analyzer{
 	poolcheck.Analyzer,
 	hotpathcheck.Analyzer,
+	journalcheck.Analyzer,
 	slogcheck.Analyzer,
 	ctxcheck.Analyzer,
 	metricscheck.Analyzer,

@@ -70,6 +70,8 @@ func main() {
 		"retained events per job for /events resume and /stream replay (0 = default 1024)")
 	node := flag.String("node", "",
 		"node id prefixed to job ids; give every backend behind an ifdk-router a distinct one")
+	journalDir := flag.String("journal-dir", "",
+		"write-ahead job journal directory; accepted jobs survive restarts (empty disables durability)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	abci := flag.Bool("abci", false, "model the paper's ABCI GPFS storage instead of defaults")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON records instead of text")
@@ -97,6 +99,7 @@ func main() {
 		QuotaRPS:          *quotaRPS,
 		EventLogCap:       *eventLog,
 		NodeID:            *node,
+		JournalDir:        *journalDir,
 		Logger:            logger,
 		FilterBatchWindow: *filterBatch,
 	}
@@ -120,7 +123,10 @@ func main() {
 }
 
 func run(addr, debugAddr string, opt service.Options, drain time.Duration, logger *slog.Logger) error {
-	m := service.NewManager(opt)
+	m, err := service.OpenManager(opt)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(m)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

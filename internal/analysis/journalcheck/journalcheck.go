@@ -1,0 +1,117 @@
+// Package journalcheck enforces the write-ahead journal's durability
+// contract: a function annotated with a "//ifdk:journal" doc directive is
+// an append path whose caller acks clients once it returns, so every byte
+// it writes must be fsynced before any return — fsync-before-ack.
+//
+// The pass checks three things, in source order over the function body:
+//
+//   - the function calls Sync at least once (a journal append that never
+//     syncs leaves acked records in the page cache, which a power cut
+//     eats);
+//   - no Write-family call (Write, WriteString, WriteAt) appears after
+//     the last Sync — bytes written there would return unsynced;
+//   - the Sync error is not discarded (an ExprStmt or blank assign): a
+//     failed fsync means the record is NOT durable, and the append must
+//     report that instead of acking.
+//
+// The ordering check is positional, not path-sensitive — good enough for
+// the straight-line append shape the contract demands, and it fails
+// closed: restructure the function rather than the invariant.
+package journalcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"ifdk/internal/analysis"
+)
+
+// Analyzer is the journalcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalcheck",
+	Doc:  "enforce fsync-before-ack in //ifdk:journal append paths",
+	Run:  run,
+}
+
+// writeNames are the Write-family methods whose bytes Sync must cover.
+var writeNames = map[string]bool{"Write": true, "WriteString": true, "WriteAt": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasAnnotation(fd.Doc, "journal") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// selCall returns the method name of a call of the form x.Name(...).
+func selCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var writes []token.Pos
+	var lastSync token.Pos
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure is somebody else's contract
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && selCall(call) == "Sync" {
+				pass.Reportf(call.Pos(),
+					"journal append %s: Sync result discarded — a failed fsync must fail the append, not ack it",
+					fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && selCall(call) == "Sync" && allBlank(n.Lhs) {
+					pass.Reportf(call.Pos(),
+						"journal append %s: Sync result discarded — a failed fsync must fail the append, not ack it",
+						fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			switch name := selCall(n); {
+			case name == "Sync":
+				if n.End() > lastSync {
+					lastSync = n.End()
+				}
+			case writeNames[name]:
+				writes = append(writes, n.Pos())
+			}
+		}
+		return true
+	})
+
+	if lastSync == token.NoPos {
+		pass.Reportf(fd.Name.Pos(),
+			"journal append %s never calls Sync — fsync-before-ack cannot hold", fd.Name.Name)
+		return
+	}
+	for _, w := range writes {
+		if w > lastSync {
+			pass.Reportf(w,
+				"journal append %s: write after the last Sync returns unsynced bytes", fd.Name.Name)
+		}
+	}
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package journalcheck_test
+
+import (
+	"testing"
+
+	"ifdk/internal/analysis/analysistest"
+	"ifdk/internal/analysis/journalcheck"
+)
+
+func TestJournalCheck(t *testing.T) {
+	analysistest.Run(t, journalcheck.Analyzer, "testdata/src/internal/service/journalfix")
+}

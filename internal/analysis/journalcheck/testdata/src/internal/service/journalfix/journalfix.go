@@ -1,0 +1,73 @@
+// Package journalfix seeds durability-contract violations for
+// journalcheck: annotated append paths that skip the fsync, write past it,
+// or swallow its error — plus the clean shape that must stay quiet.
+package journalfix
+
+import "os"
+
+type wal struct{ f *os.File }
+
+// The canonical append: write, then sync, both errors propagated.
+//
+//ifdk:journal
+func (w *wal) goodAppend(blob []byte) error {
+	if _, err := w.f.Write(blob); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Syncing through a helper method named Sync on another receiver is fine
+// too: the check is shape-based, not type-based.
+//
+//ifdk:journal
+func (w *wal) goodAppendString(s string) error {
+	if _, err := w.f.WriteString(s); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+//ifdk:journal
+func (w *wal) badNoSync(blob []byte) error { // want `never calls Sync`
+	_, err := w.f.Write(blob)
+	return err
+}
+
+//ifdk:journal
+func (w *wal) badWriteAfterSync(head, tail []byte) error {
+	if _, err := w.f.Write(head); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	_, err := w.f.Write(tail) // want `write after the last Sync`
+	return err
+}
+
+//ifdk:journal
+func (w *wal) badDiscardedSync(blob []byte) error {
+	if _, err := w.f.Write(blob); err != nil {
+		return err
+	}
+	w.f.Sync() // want `Sync result discarded`
+	return nil
+}
+
+//ifdk:journal
+func (w *wal) badBlankSync(blob []byte) error {
+	if _, err := w.f.Write(blob); err != nil {
+		return err
+	}
+	_ = w.f.Sync() // want `Sync result discarded`
+	return nil
+}
+
+// Unannotated writers owe nobody an fsync.
+func (w *wal) buffered(blob []byte) {
+	_, _ = w.f.Write(blob)
+}

@@ -6,6 +6,7 @@ import (
 	"ifdk/internal/analysis"
 	"ifdk/internal/analysis/ctxcheck"
 	"ifdk/internal/analysis/hotpathcheck"
+	"ifdk/internal/analysis/journalcheck"
 	"ifdk/internal/analysis/metricscheck"
 	"ifdk/internal/analysis/poolcheck"
 	"ifdk/internal/analysis/slogcheck"
@@ -33,6 +34,7 @@ func TestRepoIsVetClean(t *testing.T) {
 	all := []*analysis.Analyzer{
 		poolcheck.Analyzer,
 		hotpathcheck.Analyzer,
+		journalcheck.Analyzer,
 		slogcheck.Analyzer,
 		ctxcheck.Analyzer,
 		metricscheck.Analyzer,

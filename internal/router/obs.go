@@ -41,8 +41,17 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 			"Request-path transport failures per backend (client-side cancellations excluded).", "backend"),
 	}
 	reg.CounterFunc("ifdk_router_reroutes_total",
-		"Pending jobs resubmitted to a surviving backend after a backend death.",
+		"Non-terminal jobs resubmitted to a surviving backend after a backend death.",
 		func() float64 { return float64(rt.reroutes.Load()) })
+	reg.CounterFunc("ifdk_router_failover_running_total",
+		"Of the reroutes, jobs last observed running — re-executed from scratch on the survivor.",
+		func() float64 { return float64(rt.reroutesRunning.Load()) })
+	reg.CounterFunc("ifdk_router_relay_takeovers_total",
+		"Relayed event/slice streams that reattached to a surviving backend mid-stream.",
+		func() float64 { return float64(rt.relayTakeovers.Load()) })
+	reg.CounterFunc("ifdk_router_routes_expired_total",
+		"Terminal job routes dropped by TerminalTTL expiry.",
+		func() float64 { return float64(rt.routesExpired.Load()) })
 	reg.GaugeFunc("ifdk_router_routes",
 		"Job routes currently tracked (bounded by MaxRoutes).",
 		func() float64 {

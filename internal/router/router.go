@@ -20,11 +20,15 @@
 // context: the router inherits or mints a traceparent, interposes its proxy
 // span, and GET /v1/jobs/{id}/trace returns the backend's span tree with
 // the router hop appended. A health loop probes
-// /healthz; when a backend dies, jobs the router last saw queued (never
-// started) are resubmitted to a surviving backend under their original
-// public ID — pending work survives node death. Running jobs are not
-// failed over (their partial state lives on the dead node's PFS); their
-// routes surface the retryable "unavailable" code instead.
+// /healthz; when a backend dies, every job the router last saw non-terminal
+// on it — queued or running — is resubmitted to a surviving backend under
+// its original public ID. Reconstruction is deterministic given the Spec,
+// so re-executing a running job from scratch on a survivor yields the same
+// bits its first execution would have; the partial state on the dead node's
+// PFS is simply abandoned. SSE and slice-stream subscribers ride across the
+// takeover: the router terminates those streams itself (relay.go) instead
+// of raw-proxying them, so a backend death mid-stream becomes a reconnect
+// to the survivor rather than a client-visible "unavailable".
 package router
 
 import (
@@ -60,8 +64,14 @@ type Options struct {
 	HealthEvery time.Duration // health probe period (default 500ms)
 	DeadAfter   int           // consecutive probe failures before a backend is dead (default 2)
 	MaxRoutes   int           // retained job routes; terminal ones are pruned first (default 8192)
-	Client      *http.Client  // JSON/health transport (default: 15s timeout)
-	Logger      *slog.Logger  // structured event log (default: discard)
+	TerminalTTL time.Duration // terminal routes expire after this (0 = default 10m, < 0 = only under MaxRoutes pressure)
+	// FailoverWait bounds how long a relayed event/slice stream waits for a
+	// dead route to fail over to a survivor before giving up on the client
+	// connection (default 30s). It must comfortably cover death detection
+	// (HealthEvery × DeadAfter) plus the resubmission round trip.
+	FailoverWait time.Duration
+	Client       *http.Client // JSON/health transport (default: 15s timeout)
+	Logger       *slog.Logger // structured event log (default: discard)
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +83,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRoutes <= 0 {
 		o.MaxRoutes = 8192
+	}
+	if o.TerminalTTL == 0 {
+		o.TerminalTTL = 10 * time.Minute
+	}
+	if o.FailoverWait <= 0 {
+		o.FailoverWait = 30 * time.Second
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 15 * time.Second}
@@ -102,10 +118,11 @@ type backendState struct {
 // Routes discovered by probing (resolve) have no trace fields; their traces
 // relay without a router span.
 type jobRoute struct {
-	backend   string
-	backendID string
-	spec      api.Spec
-	state     api.State // last state the router observed for the job
+	backend    string
+	backendID  string
+	spec       api.Spec
+	state      api.State // last state the router observed for the job
+	terminalAt time.Time // when the router first observed a terminal state (zero while live)
 
 	traceID    string
 	clientSpan string
@@ -114,12 +131,29 @@ type jobRoute struct {
 	proxyDur   time.Duration
 }
 
+// setState folds a freshly observed job state into the route, stamping (or
+// clearing) the terminal timestamp that drives TTL expiry. Callers hold rt.mu.
+func (route *jobRoute) setState(st api.State) {
+	if st.Terminal() {
+		if route.terminalAt.IsZero() || !route.state.Terminal() {
+			route.terminalAt = time.Now()
+		}
+	} else {
+		route.terminalAt = time.Time{}
+	}
+	route.state = st
+}
+
 // Router is an http.Handler fronting a fleet of ifdkd backends.
 type Router struct {
 	opt Options
 	mux *http.ServeMux
 	log *slog.Logger
 	met *routerMetrics
+	// streamClient carries the relayed /events and /stream connections: no
+	// overall timeout (streams legitimately live for minutes), cancellation
+	// rides on each inbound request's context instead.
+	streamClient *http.Client
 
 	mu       sync.Mutex
 	backends map[string]*backendState
@@ -127,10 +161,13 @@ type Router struct {
 	jobs     map[string]*jobRoute
 	order    []string // route insertion order, for bounded pruning
 
-	reroutes  atomic.Int64 // jobs failed over after backend death
-	stop      chan struct{}
-	healthWG  sync.WaitGroup
-	startOnce sync.Once
+	reroutes        atomic.Int64 // jobs failed over after backend death
+	reroutesRunning atomic.Int64 // of those, jobs last observed running (re-executed from scratch)
+	relayTakeovers  atomic.Int64 // relayed streams that reattached to a surviving backend
+	routesExpired   atomic.Int64 // terminal routes dropped by TTL expiry
+	stop            chan struct{}
+	healthWG        sync.WaitGroup
+	startOnce       sync.Once
 }
 
 // New builds a router over the given backends and starts its health loop.
@@ -141,12 +178,13 @@ func New(opt Options) (*Router, error) {
 		return nil, fmt.Errorf("router: no backends configured")
 	}
 	rt := &Router{
-		opt:      opt,
-		mux:      http.NewServeMux(),
-		log:      opt.Logger,
-		backends: make(map[string]*backendState),
-		jobs:     make(map[string]*jobRoute),
-		stop:     make(chan struct{}),
+		opt:          opt,
+		mux:          http.NewServeMux(),
+		log:          opt.Logger,
+		streamClient: &http.Client{},
+		backends:     make(map[string]*backendState),
+		jobs:         make(map[string]*jobRoute),
+		stop:         make(chan struct{}),
 	}
 	for _, b := range opt.Backends {
 		if b.Name == "" || b.URL == "" {
@@ -174,12 +212,8 @@ func New(opt Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/jobs", rt.list)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.get)
 	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.remove)
-	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		rt.proxyStream(w, r, "/events")
-	})
-	rt.mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
-		rt.proxyStream(w, r, "/stream")
-	})
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", rt.relayEvents)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.relayStream)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStream(w, r, "/slice/"+r.PathValue("z"))
 	})
@@ -243,16 +277,19 @@ func rendezvous(key string, candidates []string) string {
 // recordRoute remembers where a public job ID lives, keeping the table
 // bounded: backends prune their own terminal records (Options.MaxJobs), so
 // a router that never forgot would leak one route (with its Spec) per
-// submission forever. Terminal routes are dropped oldest-first; if the
-// table is somehow all-live, the oldest route goes regardless — its job is
-// rediscoverable through resolve's backend probe.
+// submission forever. Terminal routes older than TerminalTTL expire
+// outright; beyond MaxRoutes the remaining terminal routes are dropped
+// oldest-first, and if the table is somehow all-live, the oldest route goes
+// regardless — its job is rediscoverable through resolve's backend probe.
 func (rt *Router) recordRoute(id string, route *jobRoute) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	route.setState(route.state) // stamp terminalAt for routes born terminal (cache hits)
 	if _, exists := rt.jobs[id]; !exists {
 		rt.order = append(rt.order, id)
 	}
 	rt.jobs[id] = route
+	rt.pruneExpiredLocked()
 	if len(rt.jobs) <= rt.opt.MaxRoutes {
 		return
 	}
@@ -273,6 +310,36 @@ func (rt *Router) recordRoute(id string, route *jobRoute) {
 		delete(rt.jobs, rt.order[0])
 		rt.order = rt.order[1:]
 	}
+}
+
+// pruneExpiredLocked drops terminal routes whose TerminalTTL has elapsed.
+// Before the TTL existed the table only shrank under MaxRoutes pressure, so
+// a quiet router hoarded every finished job's Spec for the lifetime of the
+// process; expired jobs stay reachable through resolve's backend probe for
+// as long as their backend retains the record. Callers hold rt.mu.
+func (rt *Router) pruneExpiredLocked() {
+	if rt.opt.TerminalTTL < 0 {
+		return
+	}
+	cutoff := time.Now().Add(-rt.opt.TerminalTTL)
+	expired := 0
+	for id, route := range rt.jobs {
+		if !route.terminalAt.IsZero() && route.terminalAt.Before(cutoff) {
+			delete(rt.jobs, id)
+			expired++
+		}
+	}
+	if expired == 0 {
+		return
+	}
+	rt.routesExpired.Add(int64(expired))
+	keep := rt.order[:0]
+	for _, oid := range rt.order {
+		if _, ok := rt.jobs[oid]; ok {
+			keep = append(keep, oid)
+		}
+	}
+	rt.order = keep
 }
 
 // aliveNames snapshots the currently-live backend names in stable order.
@@ -414,26 +481,37 @@ func (rt *Router) healthLoop() {
 			}
 			rt.observeHealth(name, ok)
 		}
+		// Terminal-route expiry rides the probe tick so a quiet router (no
+		// submissions, no lookups) still forgets finished jobs on time.
+		rt.mu.Lock()
+		rt.pruneExpiredLocked()
+		rt.mu.Unlock()
 	}
 }
 
-// failover resubmits every job the router last observed queued on the dead
-// backend to a surviving one, preserving the public job ID. Jobs observed
-// running (or terminal) are left alone: their partial output lives on the
-// dead node's PFS, and re-running them is the documented remaining work
-// (deterministic re-execution would be correct but wasteful; replicated
-// PFS would be exact).
+// failover resubmits every job the router last observed non-terminal on the
+// dead backend — queued or running — to a surviving one, preserving the
+// public job ID. Reconstruction is a pure function of the Spec, so
+// re-executing a running job from scratch on a survivor converges on the
+// exact volume its first execution would have produced; the partial output
+// on the dead node's PFS is abandoned rather than recovered (deterministic
+// re-execution trades wasted compute for zero replication cost — replicated
+// PFS would be the exact-resume alternative). Jobs observed terminal keep
+// their dead route and surface "unavailable" until expiry: their result
+// died with the node, and silently recomputing a job the client already saw
+// finish would be a new execution, not a recovery.
 func (rt *Router) failover(dead string) {
 	rt.mu.Lock()
 	type pending struct {
 		id          string
 		spec        api.Spec
+		state       api.State
 		traceparent string
 	}
 	var moves []pending
 	for id, route := range rt.jobs {
-		if route.backend == dead && route.state == api.StateQueued {
-			mv := pending{id: id, spec: route.spec}
+		if route.backend == dead && !route.state.Terminal() {
+			mv := pending{id: id, spec: route.spec, state: route.state}
 			// Re-forward the same trace context the original submission
 			// carried: the resubmitted job keeps its trace ID, and its job
 			// span still parents under the router's proxy span.
@@ -449,7 +527,7 @@ func (rt *Router) failover(dead string) {
 	for _, mv := range moves {
 		alive := rt.aliveNames()
 		if len(alive) == 0 {
-			rt.log.Warn("no live backend to reroute pending job", "job_id", mv.id)
+			rt.log.Warn("no live backend to reroute job", "job_id", mv.id)
 			return
 		}
 		key, err := service.SpecKey(mv.spec)
@@ -464,11 +542,16 @@ func (rt *Router) failover(dead string) {
 		}
 		rt.mu.Lock()
 		if route, ok := rt.jobs[mv.id]; ok && route.backend == dead {
-			route.backend, route.backendID, route.state = target, v.ID, v.State
+			route.backend, route.backendID = target, v.ID
+			route.setState(v.State)
 		}
 		rt.mu.Unlock()
 		rt.reroutes.Add(1)
-		rt.log.Info("rerouted pending job", "job_id", mv.id, "target", target, "backend_id", v.ID)
+		if mv.state == api.StateRunning {
+			rt.reroutesRunning.Add(1)
+		}
+		rt.log.Info("rerouted job", "job_id", mv.id, "target", target,
+			"backend_id", v.ID, "was", string(mv.state))
 	}
 }
 
@@ -673,7 +756,8 @@ func (rt *Router) routeTarget(route jobRoute) (*backendState, string) {
 
 // get proxies GET /v1/jobs/{id}, rewriting the backend's job ID back to the
 // public one for failed-over jobs and tracking the observed state (the
-// failover predicate: only jobs never seen past queued are rerouted).
+// failover predicate: non-terminal routes are rerouted off a dead backend,
+// terminal ones are not).
 func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	route, ok := rt.resolve(r.Context(), id)
@@ -710,7 +794,7 @@ func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Lock()
 	if cur, ok := rt.jobs[id]; ok && cur.backendID == v.ID { // still the same underlying job
-		cur.state = v.State
+		cur.setState(v.State)
 	}
 	rt.mu.Unlock()
 	v.ID = id // public identity survives failover
@@ -811,10 +895,10 @@ func (rt *Router) remove(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// proxyStream hands the streaming endpoints (events, stream, slice) to the
-// backend's reverse proxy, which flushes every write — SSE frames and
-// multipart slice parts reach the client the moment the backend emits
-// them, and Last-Event-ID resume headers pass through untouched.
+// proxyStream hands a one-shot streaming endpoint (slice PNGs) to the
+// backend's reverse proxy, which flushes every write. The long-lived
+// streams — /events and /stream — do not come through here: they are
+// relayed (relay.go) so subscribers survive a backend death mid-stream.
 func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, sub string) {
 	id := r.PathValue("id")
 	route, ok := rt.resolve(r.Context(), id)
@@ -830,14 +914,6 @@ func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, sub string
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = "/v1/jobs/" + route.backendID + sub
 	b.proxy.ServeHTTP(w, r2)
-	// Event and slice streams usually end because the job reached a
-	// terminal event. A client that only ever watched/streamed (the SDK's
-	// headline flow) would otherwise leave the route stuck at "queued" and
-	// the failover predicate would re-run its finished job after a backend
-	// death — refresh the observed state now that the stream closed.
-	if sub == "/events" || sub == "/stream" {
-		go rt.refreshState(id)
-	}
 }
 
 // refreshState re-reads a job's state from its backend and folds it into
@@ -874,7 +950,7 @@ func (rt *Router) refreshState(id string) {
 	}
 	rt.mu.Lock()
 	if cur, ok := rt.jobs[id]; ok && cur.backendID == v.ID {
-		cur.state = v.State
+		cur.setState(v.State)
 	}
 	rt.mu.Unlock()
 }
@@ -939,7 +1015,7 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 			pub = backendID
 		}
 		if cur, ok := rt.jobs[pub]; ok && cur.backendID == backendID {
-			cur.state = merged[i].State
+			cur.setState(merged[i].State)
 		}
 	}
 	rt.mu.Unlock()

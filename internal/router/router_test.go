@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -410,10 +409,11 @@ func TestMetricsFanIn(t *testing.T) {
 	}
 }
 
-// Killing a backend reroutes the jobs the router last saw queued on it to a
-// surviving backend, preserving their public IDs; a job observed running is
-// deliberately NOT rerouted (its partial state died with the node) and
-// surfaces the retryable unavailable code instead.
+// Killing a backend reroutes every non-terminal job the router saw on it —
+// queued AND running — to a surviving backend, preserving their public IDs.
+// The running job is re-executed from scratch on the survivor (deterministic
+// reconstruction makes the re-run equivalent); the client polling it sees it
+// complete under its original ID, never a dead end.
 func TestFailoverPendingJobsOnBackendDeath(t *testing.T) {
 	// One worker per backend and slow reads: the first job per backend
 	// runs for seconds, everything behind it stays queued.
@@ -475,10 +475,11 @@ func TestFailoverPendingJobsOnBackendDeath(t *testing.T) {
 	f.backends[victimIdx].CloseClientConnections()
 	f.backends[victimIdx].Close()
 
-	// The router's health loop must mark it dead and reroute the queued
-	// jobs; their public IDs keep working through the router and complete
-	// on a surviving backend.
-	for _, id := range queuedIDs {
+	// The router's health loop must mark it dead and reroute every
+	// non-terminal job — the queued ones and the one caught running; their
+	// public IDs keep working through the router and complete on a
+	// surviving backend.
+	for _, id := range append([]string{runningID}, queuedIDs...) {
 		final, err := c.Await(ctx, id, 10*time.Millisecond)
 		if err != nil {
 			t.Fatalf("rerouted job %s: %v", id, err)
@@ -490,16 +491,8 @@ func TestFailoverPendingJobsOnBackendDeath(t *testing.T) {
 			t.Fatalf("public ID changed across failover: %s -> %s", id, final.ID)
 		}
 	}
-	if got := f.router.Reroutes(); got < int64(len(queuedIDs)) {
-		t.Errorf("router rerouted %d jobs, want >= %d", got, len(queuedIDs))
-	}
-
-	// The running job died with its node: unavailable (retryable), not a
-	// silent success and not a 404.
-	_, err := c.Get(ctx, runningID)
-	var apiErr *api.Error
-	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
-		t.Fatalf("running job on dead backend: %v, want unavailable", err)
+	if got := f.router.Reroutes(); got < int64(len(queuedIDs)+1) {
+		t.Errorf("router rerouted %d jobs, want >= %d", got, len(queuedIDs)+1)
 	}
 
 	// The dead backend is reported in the health listing.
@@ -517,5 +510,187 @@ func TestFailoverPendingJobsOnBackendDeath(t *testing.T) {
 		if b.Name == victim && b.Alive {
 			t.Errorf("victim %s still reported alive", victim)
 		}
+	}
+}
+
+// The relay tentpole: a client watching AND streaming a job through the
+// router survives the owning backend's death mid-run. The relays hold the
+// client connections open across the takeover, the job re-executes on a
+// survivor under its original public ID, and the client sees one gapless
+// strictly-increasing event stream plus an exactly-once slice set — never
+// "unavailable", never a duplicate.
+func TestRelaySurvivesBackendKillMidRun(t *testing.T) {
+	f := startFleet(t, 2, func(int) service.Options {
+		return service.Options{Workers: 1, CacheBytes: -1,
+			PFS: pfs.Config{ReadBW: 1e6, Targets: 1, Throttle: true}}
+	})
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "shepplogan", NX: 16, NP: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := v.ID
+	victim := backendOf(t, id)
+
+	// Wait until the job is provably mid-run before attaching the consumers.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		view, err := c.Get(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State == api.StateRunning {
+			break
+		}
+		if view.State.Terminal() {
+			t.Skipf("job finished before the kill (%s); environment too fast for this scenario", view.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SSE watcher through the relay. Every event must carry the public ID
+	// with strictly increasing sequence numbers — across the takeover.
+	type watchOut struct {
+		state api.State
+		err   error
+	}
+	firstEvent := make(chan struct{})
+	gotEvent := false
+	var lastSeq int64
+	wc := make(chan watchOut, 1)
+	go func() {
+		var out watchOut
+		out.state, out.err = c.Watch(ctx, id, func(e api.Event) error {
+			if !gotEvent {
+				gotEvent = true
+				close(firstEvent)
+			}
+			if e.Job != id {
+				return fmt.Errorf("event for %q leaked a backend ID", e.Job)
+			}
+			if e.Seq <= lastSeq {
+				return fmt.Errorf("seq not strictly increasing: %d after %d", e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+			return nil
+		})
+		wc <- out
+	}()
+
+	// Multipart stream consumer through the relay, concurrently.
+	type streamOut struct {
+		res *client.StreamResult
+		err error
+	}
+	sc := make(chan streamOut, 1)
+	go func() {
+		res, err := c.Stream(ctx, id, nil)
+		sc <- streamOut{res, err}
+	}()
+
+	// Both consumers attached (the watcher demonstrably receiving frames):
+	// kill the owning backend mid-run.
+	select {
+	case <-firstEvent:
+	case <-time.After(30 * time.Second):
+		t.Fatal("watcher received nothing before the kill")
+	}
+	var victimIdx int
+	for i, name := range f.names {
+		if name == victim {
+			victimIdx = i
+		}
+	}
+	f.backends[victimIdx].CloseClientConnections()
+	f.backends[victimIdx].Close()
+
+	w := <-wc
+	if w.err != nil {
+		t.Fatalf("watch across the takeover: %v", w.err)
+	}
+	if w.state != api.StateDone {
+		t.Fatalf("watch ended %s, want done", w.state)
+	}
+	s := <-sc
+	if s.err != nil {
+		t.Fatalf("stream across the takeover: %v", s.err)
+	}
+	if s.res.Final.State != api.StateDone || s.res.Final.ID != id {
+		t.Fatalf("stream final = %+v, want done under the original ID", s.res.Final)
+	}
+	if s.res.Slices != 16 {
+		t.Fatalf("stream delivered %d slices, want exactly 16", s.res.Slices)
+	}
+	if got := f.router.relayTakeovers.Load(); got < 1 {
+		t.Errorf("relay takeovers = %d, want >= 1", got)
+	}
+
+	// Deterministic re-execution: the relayed volume is bit-identical to the
+	// survivor's own copy of the job (known there under its takeover ID).
+	var survivorURL string
+	for i, name := range f.names {
+		if name != victim {
+			survivorURL = f.backends[i].URL
+		}
+	}
+	f.router.mu.Lock()
+	route, ok := f.router.jobs[id]
+	f.router.mu.Unlock()
+	if !ok {
+		t.Fatalf("route for %s gone after the takeover", id)
+	}
+	direct, err := client.New(survivorURL).Stream(ctx, route.backendID, nil)
+	if err != nil {
+		t.Fatalf("direct stream from survivor: %v", err)
+	}
+	for i := range direct.Volume.Data {
+		if direct.Volume.Data[i] != s.res.Volume.Data[i] {
+			t.Fatalf("relayed volume differs from the survivor's at voxel %d", i)
+		}
+	}
+}
+
+// Terminal routes expire after TerminalTTL without MaxRoutes pressure; the
+// job stays reachable because resolve falls back to probing the backends.
+func TestTerminalRouteTTLExpiry(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	f.router.mu.Lock()
+	f.router.opt.TerminalTTL = 50 * time.Millisecond // prune rides the 25ms probe tick
+	f.router.mu.Unlock()
+	c := client.New(f.routerTS.URL)
+	ctx := testCtx(t)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		f.router.mu.Lock()
+		_, present := f.router.jobs[v.ID]
+		f.router.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("terminal route for %s never expired", v.ID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := f.router.routesExpired.Load(); got < 1 {
+		t.Errorf("routes expired = %d, want >= 1", got)
+	}
+	got, err := c.Get(ctx, v.ID)
+	if err != nil || got.ID != v.ID || got.State != api.StateDone {
+		t.Fatalf("expired-route job unreachable: %+v, %v", got, err)
 	}
 }

@@ -215,6 +215,10 @@ type Job struct {
 	cfg      core.Config // InputPrefix set; OutputPrefix/Progress set per run
 	cacheKey string
 
+	// recovered marks a job rebuilt from the write-ahead journal after a
+	// restart (immutable once the job is visible).
+	recovered bool
+
 	// submit-time cost estimate, immutable after Submit: the raw model
 	// runtime (model seconds), the calibrated wall-clock estimate charged
 	// against the queued-work budget, and the working-set bytes charged
@@ -267,6 +271,7 @@ func (j *Job) snapshot() View {
 		EstBytes:  j.estBytes,
 		TraceID:   j.traceID,
 		Stages:    stagesOf(j.times),
+		Recovered: j.recovered,
 	}
 	if j.total > 0 {
 		v.Progress = float64(j.done) / float64(j.total)

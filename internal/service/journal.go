@@ -1,0 +1,403 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ifdk/internal/core"
+	"ifdk/pkg/api"
+)
+
+// The write-ahead job journal makes accepted jobs durable across daemon
+// restarts. Every lifecycle transition is appended as one JSON line to a
+// file on the real filesystem (the simulated PFS dies with the process) and
+// fsynced before the client is acked, so a kill -9 at any instant loses at
+// most work, never accepted state. On boot the journal is replayed:
+// terminal jobs come back as metadata-only views under their original
+// public IDs, and non-terminal jobs — queued or mid-run at the crash —
+// re-enter admission under their original IDs, because reconstruction is
+// deterministic given the Spec and re-execution reproduces the exact
+// volume.
+//
+// Record types. A job's life is at most four lines:
+//
+//	{"t":"submit","id":"b0-j00000007","spec":{...},"trace_id":...}
+//	{"t":"start","id":"b0-j00000007","started":...}
+//	{"t":"terminal","id":"b0-j00000007","state":"done","stages":{...}}
+//	{"t":"delete","id":"b0-j00000007"}
+//
+// Appends from the submit path and the worker pool are not ordered with
+// respect to each other (a worker can pop and even finish a job before
+// Submit's own append lands), so replay merges records per ID
+// order-tolerantly: a terminal record wins over a start record wins over a
+// submit record, whatever order they appear in. The journal is compacted on
+// boot — live state is rewritten as a minimal record set — so the file is
+// bounded by the retained job table, not daemon lifetime.
+const (
+	recSubmit   = "submit"
+	recStart    = "start"
+	recTerminal = "terminal"
+	recDelete   = "delete"
+	// recSeq pins the ID sequence high-water mark across compactions, so a
+	// deleted job's records vanishing can never let a restarted daemon
+	// reissue its public ID.
+	recSeq = "seq"
+)
+
+// journalRecord is one appended line. Fields are a union over the record
+// types; unused ones are omitted.
+type journalRecord struct {
+	T  string `json:"t"`
+	ID string `json:"id"`
+
+	// seq (recSeq records only)
+	Seq int64 `json:"seq,omitempty"`
+
+	// submit
+	Spec       *api.Spec `json:"spec,omitempty"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	ParentSpan string    `json:"parent_span,omitempty"`
+	Submitted  string    `json:"submitted,omitempty"`
+
+	// start
+	Started string `json:"started,omitempty"`
+
+	// terminal
+	State    string      `json:"state,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Finished string      `json:"finished,omitempty"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Verified bool        `json:"verified,omitempty"`
+	RelRMSE  float64     `json:"rel_rmse,omitempty"`
+	Stages   *api.Stages `json:"stages,omitempty"`
+}
+
+// errJournalClosed is reported by append after Close/Crash; callers treat
+// it as "the process is gone", not as an I/O failure.
+var errJournalClosed = errors.New("service: journal closed")
+
+// journal is the append-only WAL. One file, one writer lock; every append
+// is flushed and fsynced before it returns, so an acked transition is on
+// disk even across power loss — the whole point of the WAL.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// journalFile is the WAL's name under Options.JournalDir.
+const journalFile = "jobs.wal"
+
+// openJournal replays the journal under dir (if any), compacts it, and
+// opens it for appending. The returned records are the merged per-job
+// recovery set in first-seen order; maxSeq is the ID sequence high-water
+// mark the recovering manager must resume past.
+func openJournal(dir string) (*journal, []recoveredJob, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("service: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	recs, err := readJournal(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	jobs, maxSeq := mergeRecords(recs)
+	if err := compactJournal(dir, path, jobs, maxSeq); err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("service: journal open: %w", err)
+	}
+	return &journal{f: f, path: path}, jobs, maxSeq, nil
+}
+
+// readJournal decodes every record in the file. A torn final line — the
+// signature of a crash mid-append — is skipped; a torn or corrupt line
+// anywhere else is skipped too (one bad record must not brick recovery of
+// every other job).
+func readJournal(path string) ([]journalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("service: journal read: %w", err)
+	}
+	defer f.Close()
+	var out []journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.ID == "" {
+			continue // torn append or corruption: skip, recover the rest
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: journal scan: %w", err)
+	}
+	return out, nil
+}
+
+// recoveredJob is one job's merged journal state, ready for readmission.
+type recoveredJob struct {
+	ID         string
+	Spec       api.Spec
+	TraceID    string
+	ParentSpan string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	State      api.State
+	Error      string
+	CacheHit   bool
+	Verified   bool
+	RelRMSE    float64
+	Stages     api.Stages
+
+	hasSubmit bool
+	deleted   bool
+}
+
+// mergeRecords folds the raw record stream into per-job recovery state,
+// order-tolerantly (see the package comment on append interleaving).
+// Deleted jobs and jobs with no surviving submit record are dropped, but
+// their IDs still raise the returned sequence high-water mark.
+func mergeRecords(recs []journalRecord) ([]recoveredJob, int64) {
+	byID := make(map[string]*recoveredJob)
+	var order []string
+	var maxSeq int64
+	get := func(id string) *recoveredJob {
+		r, ok := byID[id]
+		if !ok {
+			r = &recoveredJob{ID: id, State: api.StateQueued}
+			byID[id] = r
+			order = append(order, id)
+		}
+		return r
+	}
+	for _, rec := range recs {
+		if rec.T == recSeq {
+			maxSeq = max(maxSeq, rec.Seq)
+			continue
+		}
+		maxSeq = max(maxSeq, idSeq(rec.ID))
+		r := get(rec.ID)
+		switch rec.T {
+		case recSubmit:
+			if rec.Spec != nil {
+				r.Spec = *rec.Spec
+				r.hasSubmit = true
+			}
+			r.TraceID, r.ParentSpan = rec.TraceID, rec.ParentSpan
+			r.Submitted = parseJTime(rec.Submitted)
+		case recStart:
+			r.Started = parseJTime(rec.Started)
+		case recTerminal:
+			r.State = api.State(rec.State)
+			r.Error = rec.Error
+			r.Finished = parseJTime(rec.Finished)
+			r.CacheHit, r.Verified, r.RelRMSE = rec.CacheHit, rec.Verified, rec.RelRMSE
+			if rec.Stages != nil {
+				r.Stages = *rec.Stages
+			}
+		case recDelete:
+			r.deleted = true
+		}
+	}
+	out := make([]recoveredJob, 0, len(order))
+	for _, id := range order {
+		r := byID[id]
+		if r.deleted || !r.hasSubmit {
+			continue
+		}
+		if !r.State.Terminal() {
+			r.State = api.StateQueued // queued or mid-run at the crash: re-enter admission
+		}
+		out = append(out, *r)
+	}
+	return out, maxSeq
+}
+
+// compactJournal rewrites the live recovery set as a minimal record
+// sequence via a temp file + rename, then fsyncs the directory so the
+// swap itself is durable.
+func compactJournal(dir, path string, jobs []recoveredJob, maxSeq int64) error {
+	tmp, err := os.CreateTemp(dir, journalFile+".compact-*")
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	enc := json.NewEncoder(tmp)
+	if maxSeq > 0 {
+		if err := enc.Encode(journalRecord{T: recSeq, ID: "_", Seq: maxSeq}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("service: journal compact: %w", err)
+		}
+	}
+	for i := range jobs {
+		for _, rec := range compactRecords(&jobs[i]) {
+			if err := enc.Encode(rec); err != nil {
+				tmp.Close()
+				return fmt.Errorf("service: journal compact: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// compactRecords is the minimal record set reproducing one job's merged
+// state on the next replay.
+func compactRecords(r *recoveredJob) []journalRecord {
+	spec := r.Spec
+	recs := []journalRecord{{
+		T: recSubmit, ID: r.ID, Spec: &spec,
+		TraceID: r.TraceID, ParentSpan: r.ParentSpan,
+		Submitted: fmtTime(r.Submitted),
+	}}
+	if r.State.Terminal() {
+		st := r.Stages
+		recs = append(recs, journalRecord{
+			T: recTerminal, ID: r.ID, State: string(r.State), Error: r.Error,
+			Finished: fmtTime(r.Finished), CacheHit: r.CacheHit,
+			Verified: r.Verified, RelRMSE: r.RelRMSE, Stages: &st,
+		})
+	}
+	return recs
+}
+
+// append writes one record and fsyncs it before returning — the
+// fsync-before-ack contract the submit path relies on (and journalcheck
+// enforces).
+//
+//ifdk:journal
+func (w *journal) append(rec journalRecord) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	blob = append(blob, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errJournalClosed
+	}
+	if _, err := w.f.Write(blob); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// close stops the journal; later appends report errJournalClosed. Used by
+// Shutdown and by Crash, where closing first is the simulated kill point:
+// nothing a still-unwinding worker does afterwards can reach the file.
+func (w *journal) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	_ = w.f.Close()
+}
+
+// submitRecord builds a job's submit journal record. ID, Spec, trace
+// identity and the submitted timestamp are immutable once the job is
+// visible, so no lock is needed.
+func (j *Job) submitRecord() journalRecord {
+	spec := j.Spec
+	return journalRecord{
+		T: recSubmit, ID: j.ID, Spec: &spec,
+		TraceID: j.traceID, ParentSpan: j.parentSpan,
+		Submitted: fmtTime(j.submitted),
+	}
+}
+
+// startRecord builds a job's start journal record.
+func (j *Job) startRecord() journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return journalRecord{T: recStart, ID: j.ID, Started: fmtTime(j.started)}
+}
+
+// terminalRecord builds a job's terminal journal record from its settled
+// state.
+func (j *Job) terminalRecord() journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := stagesOf(j.times)
+	return journalRecord{
+		T: recTerminal, ID: j.ID, State: string(j.state), Error: j.err,
+		Finished: fmtTime(j.finished), CacheHit: j.cacheHit,
+		Verified: j.verified, RelRMSE: j.relRMSE, Stages: &st,
+	}
+}
+
+// parseJTime decodes fmtTime's RFC3339Nano output (zero time on "").
+func parseJTime(s string) time.Time {
+	if s == "" {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// idSeq extracts the numeric sequence from a public job ID
+// ("b2-j00000007" → 7), so a recovering manager resumes its ID sequence
+// past every journaled job and never reissues a public ID.
+func idSeq(id string) int64 {
+	i := strings.LastIndex(id, "j")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// stagesToTimes inverts stagesOf for replayed terminal views.
+func stagesToTimes(s api.Stages) core.StageTimes {
+	d := func(sec float64) time.Duration { return time.Duration(sec * float64(time.Second)) }
+	return core.StageTimes{
+		Load: d(s.Load), Filter: d(s.Filter), AllGather: d(s.AllGather),
+		Backproject: d(s.Backproject), Compute: d(s.Compute),
+		Reduce: d(s.Reduce), Store: d(s.Store), Total: d(s.Total),
+	}
+}

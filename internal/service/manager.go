@@ -54,6 +54,15 @@ type Options struct {
 	// its backend without a shared sequencer.
 	NodeID string
 
+	// JournalDir, when set, makes accepted jobs durable: every lifecycle
+	// transition is appended to a write-ahead journal under this real
+	// filesystem directory (fsynced before the submit is acked) and
+	// replayed on the next start, so a crashed daemon recovers its job
+	// table — terminal jobs as views, queued and mid-run jobs by
+	// re-entering admission under their original public IDs. Empty
+	// disables journaling (the pre-durability behaviour).
+	JournalDir string
+
 	// Cost-aware admission. Each job's runtime and working set are
 	// estimated at submit time from the paper's performance model
 	// (perfmodel.Estimate) and calibrated against observed runtimes.
@@ -170,6 +179,12 @@ type Manager struct {
 	busy    atomic.Int64
 	started time.Time
 
+	// journal is the write-ahead job journal (nil when Options.JournalDir
+	// is empty); crashed marks a simulated kill -9 (tests), after which
+	// workers abandon whatever they pop instead of running it.
+	journal *journal
+	crashed atomic.Bool
+
 	// Observability plane: the counters the hot paths bump live inside the
 	// metrics registry (met), so the JSON /v1/metrics snapshot and the
 	// Prometheus exposition at GET /metrics read the same cells; tracer
@@ -194,8 +209,23 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// NewManager starts a manager with opt.Workers worker goroutines.
+// NewManager starts a manager with opt.Workers worker goroutines. It is
+// OpenManager with the error path folded into a panic — construction
+// cannot fail unless Options.JournalDir is set, where opening or replaying
+// the write-ahead journal can; daemons that journal use OpenManager.
 func NewManager(opt Options) *Manager {
+	m, err := OpenManager(opt)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OpenManager starts a manager with opt.Workers worker goroutines,
+// replaying the write-ahead journal first when Options.JournalDir is set:
+// recovered jobs are in the table (and the queue) before the first worker
+// or HTTP request sees the manager.
+func OpenManager(opt Options) (*Manager, error) {
 	opt = opt.withDefaults()
 	m := &Manager{
 		opt:         opt,
@@ -227,11 +257,146 @@ func NewManager(opt Options) *Manager {
 			},
 		})
 	}
+	m.cache.enableSpill(m.store)
+	if opt.JournalDir != "" {
+		jn, recovered, maxSeq, err := openJournal(opt.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		m.journal = jn
+		m.seq = maxSeq
+		m.recoverJobs(recovered)
+	}
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// jAppend writes one journal record when journaling is on. Worker-side
+// appends (start/terminal/delete) are best-effort: a failure is logged and
+// counted, never fatal — the job's in-memory lifecycle proceeds and the
+// worst case on a later replay is rerunning finished deterministic work.
+// The submit path checks the error itself (fsync-before-ack).
+func (m *Manager) jAppend(rec journalRecord) error {
+	if m.journal == nil {
+		return nil
+	}
+	err := m.journal.append(rec)
+	switch {
+	case err == nil:
+		m.met.journalRecords.With(rec.T).Inc()
+	case errors.Is(err, errJournalClosed):
+		// Shutdown or simulated kill: the process is "gone"; drop silently.
+	default:
+		m.met.journalErrors.Inc()
+		m.log.Error("journal append failed", "type", rec.T, "job_id", rec.ID, "err", err.Error())
+	}
+	return err
+}
+
+// recoverJobs readmits the journal's merged recovery set. Terminal jobs
+// come back as metadata-only views (their volumes lived in the in-process
+// PFS and cache, which a crash destroys; resubmitting the same spec
+// re-derives them bit-exactly). Non-terminal jobs — queued or mid-run at
+// the crash — re-enter the queue under their original public IDs.
+func (m *Manager) recoverJobs(jobs []recoveredJob) {
+	for i := range jobs {
+		if err := m.recoverJob(&jobs[i]); err != nil {
+			m.met.journalErrors.Inc()
+			m.log.Error("journal replay: job not recovered", "job_id", jobs[i].ID, "err", err.Error())
+		}
+	}
+}
+
+func (m *Manager) recoverJob(r *recoveredJob) error {
+	ph, cfg, err := compileSpec(r.Spec)
+	if err != nil {
+		return err
+	}
+	spec := specWithDefaults(r.Spec)
+	prio, err := ParsePriority(spec.Priority)
+	if err != nil {
+		return err
+	}
+	cfg.InputPrefix = datasetPrefix(spec, cfg)
+	cfg.AssembleVolume = true
+	est, err := perfmodel.Estimate(cfg)
+	if err != nil {
+		return err
+	}
+	j := &Job{
+		ID:          r.ID,
+		Spec:        spec,
+		Priority:    prio,
+		state:       StateQueued,
+		submitted:   r.Submitted,
+		ph:          ph,
+		cfg:         cfg,
+		cacheKey:    CacheKey(cfg),
+		estModelSec: est.RunSec,
+		estCost:     est.RunSec * m.scaleNow(),
+		estBytes:    est.WorkingSetBytes,
+		traceID:     r.TraceID,
+		parentSpan:  r.ParentSpan,
+		recovered:   true,
+	}
+	if j.submitted.IsZero() {
+		j.submitted = time.Now()
+	}
+	if j.traceID == "" {
+		j.traceID = obs.NewTraceID()
+	}
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	if r.State.Terminal() {
+		j.mu.Lock()
+		j.state = r.State
+		j.err = r.Error
+		j.cacheHit = r.CacheHit
+		j.verified = r.Verified
+		j.relRMSE = r.RelRMSE
+		j.times = stagesToTimes(r.Stages)
+		j.started = r.Started
+		j.finished = r.Finished
+		if j.finished.IsZero() {
+			j.finished = j.submitted
+		}
+		j.mu.Unlock()
+		m.events.Publish(j.ID, Event{Type: EventQueued, State: StateQueued})
+		m.publishTerminal(j.ID, terminalEvent(r.State, r.Error))
+		m.met.recovered.With("terminal").Inc()
+		return nil
+	}
+	// Re-enter admission under the original ID, bypassing the capacity and
+	// cost budgets: this job was admitted once already and must not be lost
+	// to a transiently smaller or busier queue.
+	j.charged = true
+	m.mu.Lock()
+	m.inflightBytes += j.estBytes
+	m.chargedJobs++
+	m.mu.Unlock()
+	m.events.Publish(j.ID, Event{Type: EventQueued, State: StateQueued})
+	m.queue.forcePush(j)
+	m.met.recovered.With("requeued").Inc()
+	m.log.Info("job recovered from journal", "job_id", j.ID, "trace_id", j.traceID,
+		"priority", prio.String())
+	return nil
+}
+
+// terminalEvent maps a terminal state to its bus event.
+func terminalEvent(st State, errStr string) Event {
+	switch st {
+	case StateFailed:
+		return Event{Type: EventFailed, State: StateFailed, Error: errStr}
+	case StateCancelled:
+		return Event{Type: EventCancelled, State: StateCancelled, Error: errStr}
+	default:
+		return Event{Type: EventDone, State: StateDone}
+	}
 }
 
 // Store exposes the backing PFS (tests and tooling).
@@ -463,6 +628,11 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 		m.publishTrace(j)
 		m.publishTerminal(j.ID, Event{Type: EventDone, State: StateDone})
 		m.scrub(pruned)
+		// Journal the hit as an already-terminal job (best-effort: the view
+		// below hands the client everything; durability only affects whether
+		// a restarted daemon still shows this ID).
+		_ = m.jAppend(j.submitRecord())
+		_ = m.jAppend(j.terminalRecord())
 		m.log.Info("job served from cache", "job_id", j.ID, "trace_id", traceID, "client", spec.Client)
 		return j.snapshot(), nil
 	}
@@ -505,6 +675,16 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 	pruned := m.pruneLocked()
 	m.mu.Unlock()
 	m.scrub(pruned)
+	// fsync-before-ack: the submit record must be durable before the client
+	// hears "accepted". On append failure the admission is compensated with
+	// a best-effort cancel (a worker may already be running the job) and the
+	// client gets an error to retry — an unjournaled accepted job would be
+	// silently lost by the next restart, which is the one lie the journal
+	// exists to prevent.
+	if err := m.jAppend(j.submitRecord()); err != nil {
+		_ = m.Cancel(j.ID)
+		return View{}, fmt.Errorf("service: job not durable: %w", err)
+	}
 	m.log.Info("job admitted", "job_id", j.ID, "trace_id", traceID,
 		"client", spec.Client, "priority", prio.String(), "est_cost_sec", j.estCost)
 	return j.snapshot(), nil
@@ -530,7 +710,9 @@ func (m *Manager) pruneLocked() []string {
 }
 
 // scrub deletes pruned jobs' output namespaces from the PFS, their event
-// streams from the bus and their traces from the ring.
+// streams from the bus, their traces from the ring and their journal
+// presence (a delete record now, physically dropped at the next boot
+// compaction).
 func (m *Manager) scrub(ids []string) {
 	for _, id := range ids {
 		m.events.Drop(id)
@@ -538,6 +720,7 @@ func (m *Manager) scrub(ids []string) {
 		for _, path := range m.store.List("jobs/" + id + "/") {
 			m.store.Delete(path)
 		}
+		_ = m.jAppend(journalRecord{T: recDelete, ID: id})
 	}
 }
 
@@ -552,6 +735,23 @@ func (m *Manager) Get(id string) (View, bool) {
 	return j.snapshot(), true
 }
 
+// resultFor returns a job's terminal result entry, falling through to the
+// cache — and through it to the PFS spill tier — when the job record does
+// not hold one itself (a done job readmitted from spill, or one whose
+// entry another path dropped). nil when no result is reachable.
+func (m *Manager) resultFor(j *Job) *Entry {
+	if e := j.Result(); e != nil {
+		return e
+	}
+	if j.State() != StateDone {
+		return nil
+	}
+	if e, ok := m.cache.Get(j.cacheKey); ok {
+		return e
+	}
+	return nil
+}
+
 // Volume returns a done job's reconstructed volume.
 func (m *Manager) Volume(id string) (*volume.Volume, error) {
 	m.mu.Lock()
@@ -560,7 +760,7 @@ func (m *Manager) Volume(id string) (*volume.Volume, error) {
 	if !ok {
 		return nil, fmt.Errorf("job %q: %w", id, ErrNotFound)
 	}
-	e := j.Result()
+	e := m.resultFor(j)
 	if e == nil || e.Volume == nil {
 		return nil, fmt.Errorf("service: job %s has no result (state %s)", id, j.State())
 	}
@@ -607,6 +807,7 @@ func (m *Manager) Cancel(id string) error {
 		m.publishTrace(j)
 		m.publishTerminal(id, Event{Type: EventCancelled, State: StateCancelled, Error: "cancelled while queued"})
 		m.settle(j)
+		_ = m.jAppend(j.terminalRecord())
 		m.log.Info("job cancelled while queued", "job_id", id, "trace_id", j.traceID)
 		return nil
 	case StateRunning:
@@ -650,6 +851,7 @@ func (m *Manager) Delete(id string) error {
 	for _, path := range m.store.List("jobs/" + id + "/") {
 		m.store.Delete(path)
 	}
+	_ = m.jAppend(journalRecord{T: recDelete, ID: id})
 	return nil
 }
 
@@ -661,6 +863,17 @@ func (m *Manager) worker() {
 		j, ok := m.queue.Pop()
 		if !ok {
 			return
+		}
+		if m.crashed.Load() {
+			continue // simulated kill -9: abandon the pop, run nothing
+		}
+		// Re-check terminal state after the pop: Cancel's queue.Remove is
+		// best-effort and loses the race against a concurrent Pop, so a job
+		// the client was just told is cancelled can surface here. runJob
+		// re-checks under j.mu too; this early skip keeps the worker from
+		// even charging the busy gauge for a corpse.
+		if j.State().Terminal() {
+			continue
 		}
 		m.runJob(j)
 	}
@@ -682,6 +895,7 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 	m.recordWait(j.Priority, waited)
 	m.events.Publish(j.ID, Event{Type: EventStarted, State: StateRunning})
+	_ = m.jAppend(j.startRecord())
 	m.log.Info("job started", "job_id", j.ID, "trace_id", j.traceID,
 		"wait_sec", waited.Seconds())
 
@@ -717,6 +931,7 @@ func (m *Manager) runJob(j *Job) {
 	m.publishTrace(j)
 	m.publishTerminal(j.ID, terminal)
 	m.settle(j)
+	_ = m.jAppend(j.terminalRecord())
 	switch {
 	case err == nil:
 		m.met.observeStages(stagesOf(entry.Times))
@@ -990,6 +1205,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if m.journal != nil {
+			m.journal.close()
+		}
 		return nil
 	case <-ctx.Done():
 		for _, v := range m.List() {
@@ -998,6 +1216,35 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			}
 		}
 		<-done
+		if m.journal != nil {
+			m.journal.close()
+		}
 		return ctx.Err()
 	}
+}
+
+// Crash simulates a kill -9 for the crash/restart tests. The journal is
+// closed first — that is the cut point: nothing a still-live goroutine
+// appends afterwards reaches the file, exactly like writes issued after a
+// real kill. Then admission stops, queued jobs are abandoned unrun, and
+// running jobs' contexts are cancelled. Unlike a real kill it does wait
+// for the worker goroutines to unwind (their post-crash transitions die
+// against the closed journal), so tests leak nothing.
+//
+//ifdk:noctx test support: simulated kill, bounded by running-job cancellation
+func (m *Manager) Crash() {
+	if m.journal != nil {
+		m.journal.close()
+	}
+	m.crashed.Store(true)
+	m.mu.Lock()
+	m.open = false
+	m.mu.Unlock()
+	m.queue.Close()
+	for _, v := range m.List() {
+		if v.State == StateRunning {
+			_ = m.Cancel(v.ID)
+		}
+	}
+	m.wg.Wait()
 }

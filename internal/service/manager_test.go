@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -330,5 +331,50 @@ func TestShutdownRejectsAndDrains(t *testing.T) {
 	}
 	if _, err := m.Submit(testSpec()); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after shutdown: %v", err)
+	}
+}
+
+// Hammer the cancel-vs-pop race: Cancel's queue.Remove is best-effort and
+// can lose to a concurrent worker Pop, so the worker must re-check terminal
+// state after popping. A job the client was told is cancelled must never run
+// anyway (flip back to running/done). Run under -race; before the re-check
+// this reliably flips a few jobs per thousand.
+func TestCancelPopRaceNeverRevivesJob(t *testing.T) {
+	m := NewManager(Options{Workers: 4, QueueCap: 256, CacheBytes: -1, PFS: pfsThrottled()})
+	defer shutdown(t, m)
+
+	const rounds = 60
+	cancelled := make([]string, 0, rounds)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		spec := testSpec()
+		spec.NP = 32 + i // distinct cache keys: a cache hit would dodge the queue entirely
+		v, err := m.Submit(spec)
+		if err != nil {
+			continue // queue momentarily full: fine, the race needs depth, not every job
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := m.Cancel(id); err != nil {
+				return // already terminal: not a queued-cancel race
+			}
+			if v, ok := m.Get(id); ok && v.State == StateCancelled {
+				mu.Lock()
+				cancelled = append(cancelled, id)
+				mu.Unlock()
+			}
+		}(v.ID)
+	}
+	wg.Wait()
+	if len(cancelled) == 0 {
+		t.Skip("no cancellation landed while queued; race window not exercised")
+	}
+	for _, id := range cancelled {
+		v := waitState(t, m, id, time.Minute)
+		if v.State != StateCancelled {
+			t.Fatalf("job %s was acked cancelled but ended %s — worker revived a corpse", id, v.State)
+		}
 	}
 }

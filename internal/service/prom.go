@@ -35,6 +35,11 @@ type metricsSet struct {
 	filterSweeps      *obs.Counter   // coalesced rounds flushed
 	filterBatchedProj *obs.Counter   // projections filtered through shared sweeps
 	filterBatchSize   *obs.Histogram // per-sweep batch size
+
+	// write-ahead journal (Options.JournalDir != "")
+	journalRecords *obs.CounterVec // appended records by type
+	journalErrors  *obs.Counter    // failed appends / unrecoverable replayed jobs
+	recovered      *obs.CounterVec // jobs recovered at boot, by outcome
 }
 
 // newMetricsSet registers the service's metric families against m's
@@ -68,6 +73,14 @@ func newMetricsSet(m *Manager) *metricsSet {
 	s.filterBatchSize = r.Histogram("ifdk_filter_batch_size",
 		"Projections coalesced per shared filter sweep.",
 		[]float64{1, 2, 4, 8, 16, 32})
+
+	s.journalRecords = r.CounterVec("ifdk_journal_records_total",
+		"Write-ahead journal records appended and fsynced, by type.", "type")
+	s.journalErrors = r.Counter("ifdk_journal_errors_total",
+		"Journal appends that failed and journaled jobs that could not be recovered.")
+	s.recovered = r.CounterVec("ifdk_journal_recovered_total",
+		"Jobs rebuilt from the journal at boot: requeued (re-entered admission) or terminal (view only).",
+		"outcome")
 
 	r.GaugeFunc("ifdk_uptime_seconds", "Seconds since the manager started.",
 		func() float64 { return time.Since(m.started).Seconds() })
@@ -127,6 +140,14 @@ func newMetricsSet(m *Manager) *metricsSet {
 		func() float64 { return float64(m.cache.Stats().Bytes) })
 	r.GaugeFunc("ifdk_cache_max_bytes", "Result-cache byte budget.",
 		func() float64 { return float64(m.cache.Stats().MaxBytes) })
+	r.CounterFunc("ifdk_cache_spills_total", "Cache evictions written to the PFS spill tier.",
+		func() float64 { return float64(m.cache.Stats().Spills) })
+	r.CounterFunc("ifdk_cache_spill_hits_total", "Cache lookups served from the PFS spill tier.",
+		func() float64 { return float64(m.cache.Stats().SpillHits) })
+	r.CounterFunc("ifdk_cache_spill_bytes_total", "Cumulative payload bytes spilled to the PFS.",
+		func() float64 { return float64(m.cache.Stats().SpillBytes) })
+	r.CounterFunc("ifdk_cache_spill_errors_total", "Spill writes and reads that failed.",
+		func() float64 { return float64(m.cache.Stats().SpillErrors) })
 
 	r.CounterFunc("ifdk_pfs_read_bytes_total", "Bytes read from the simulated PFS.",
 		func() float64 { return float64(m.store.Stats().BytesRead) })

@@ -116,6 +116,21 @@ func (q *Queue) Push(j *Job) error {
 	return nil
 }
 
+// forcePush enqueues a recovered job, bypassing the capacity and cost
+// budgets: the job was admitted before the restart and must not be lost to
+// a transiently smaller queue or busier budget. Journal replay only.
+func (q *Queue) forcePush(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.buckets[j.Priority] = append(q.buckets[j.Priority], queued{j: j, enqueued: time.Now(), cost: j.estCost})
+	q.n++
+	q.cost += j.estCost
+	q.notEmpty.Signal()
+}
+
 // effective returns the aged priority class of a job that has waited for
 // the given duration since enqueue.
 func (q *Queue) effective(base Priority, waited time.Duration) int {

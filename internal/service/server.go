@@ -138,7 +138,7 @@ func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var img *volume.Image
-	if e := j.Result(); e != nil && e.Volume != nil {
+	if e := s.m.resultFor(j); e != nil && e.Volume != nil {
 		img = e.Volume.SliceZ(z)
 	} else if st := j.State(); st == StateFailed || st == StateCancelled {
 		// Terminal without a result: the slice will never arrive, so a

@@ -180,9 +180,11 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		return sendBlob(z, blob)
 	}
 	// finish emits any slices the event replay window lost, then the
-	// terminal JSON view as the closing part.
+	// terminal JSON view as the closing part. resultFor falls through to
+	// the cache and its PFS spill tier, so a stream attached to a done job
+	// whose volume was evicted under byte pressure still completes.
 	finish := func() {
-		if e := j.Result(); e != nil && e.Volume != nil {
+		if e := s.m.resultFor(j); e != nil && e.Volume != nil {
 			for z := 0; z < nz; z++ {
 				if !sent[z] {
 					if err := sendBlob(z, volume.ImageToBytes(e.Volume.SliceZ(z))); err != nil {

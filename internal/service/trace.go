@@ -85,6 +85,9 @@ func (m *Manager) assembleSpans(j *Job) []obs.Span {
 			{Key: "cache_hit", Value: strconv.FormatBool(ts.cacheHit)},
 		},
 	}
+	if j.recovered {
+		root.Attrs = append(root.Attrs, obs.Attr{Key: "recovered", Value: "true"})
+	}
 	if ts.errStr != "" {
 		root.Attrs = append(root.Attrs, obs.Attr{Key: "error", Value: ts.errStr})
 	}

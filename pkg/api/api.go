@@ -67,6 +67,7 @@ type View struct {
 	EstBytes  int64   `json:"est_bytes"`   // working set charged against the byte budget
 	TraceID   string  `json:"trace_id,omitempty"`
 	Stages    Stages  `json:"stages,omitempty"`
+	Recovered bool    `json:"recovered,omitempty"` // rebuilt from the write-ahead journal after a restart
 }
 
 // Stages is the wire form of the pipeline stage timings (seconds, max over

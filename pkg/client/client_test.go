@@ -261,6 +261,37 @@ func TestWatchReconnectsAfterDrop(t *testing.T) {
 	}
 }
 
+// The reconnect budget is per outage, not per watch: a connection that
+// delivered events before dropping resets the attempt counter, so a long
+// watch over a flaky path survives more total drops than Retry.Max as long
+// as each individual drop recovers. Six cuts against a budget of three
+// would exhaust a cumulative counter; with the reset the watch completes.
+func TestWatchRetryBudgetResetsOnProgress(t *testing.T) {
+	_, ts := newService(t, service.Options{Workers: 2})
+	flaky := newFlakyProxy(t, ts.URL, 6)
+	ctx := testCtx(t)
+
+	direct := New(ts.URL)
+	v, err := direct.Submit(ctx, api.Spec{Phantom: "sphere", NX: 16, NP: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the job finish first: every reconnect then replays at least one
+	// retained event before the proxy cuts it, making progress deterministic.
+	if _, err := direct.Await(ctx, v.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(flaky.URL, WithRetry(Retry{Max: 3, Base: time.Millisecond}))
+	state, err := c.Watch(ctx, v.ID, nil)
+	if err != nil {
+		t.Fatalf("watch exhausted its reconnect budget despite per-connection progress: %v", err)
+	}
+	if state != api.StateDone {
+		t.Fatalf("terminal state = %s, want done", state)
+	}
+}
+
 // Watch on an unknown job must fail fast with the stable code, not retry.
 func TestWatchNotFound(t *testing.T) {
 	_, ts := newService(t, service.Options{Workers: 1})

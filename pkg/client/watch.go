@@ -32,6 +32,14 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(api.Event) error)
 	attempt := 0
 	for {
 		state, seq, err := c.watchOnce(ctx, id, lastSeq, fn)
+		if seq > lastSeq {
+			// The connection delivered events before dropping: this is a
+			// fresh outage, not a continuation of the last one. Without the
+			// reset, a long watch over a flaky path (or a fleet failover per
+			// reconnect) exhausts the retry budget cumulatively even though
+			// every individual drop recovered fine.
+			attempt = 0
+		}
 		lastSeq = seq
 		if err == nil {
 			terminal = state
