@@ -40,6 +40,16 @@
 //	ifdk-load -stream -nx 64 -workers 2
 //	ifdk-load -stream -gzip
 //
+// With -preview the generator runs the progressive coarse-to-fine
+// scenario instead: it submits one quality=progressive job, consumes its
+// stream via client.StreamProgressive, and measures time-to-first-preview
+// (the coarse tier's first part) against time-to-full-volume. The process
+// exits non-zero unless every preview part precedes every full-resolution
+// part, the reassembled preview matches GET /preview bit for bit, and the
+// first preview slice beats the full volume by a wide margin.
+//
+//	ifdk-load -preview -nx 64 -workers 2
+//
 // With -trace the generator additionally fetches one sampled job's span
 // tree (GET /v1/jobs/{id}/trace) after the run and prints it as an
 // indented waterfall — queue wait, dataset staging, per-round filter and
@@ -64,6 +74,7 @@ import (
 	"ifdk/internal/service"
 	"ifdk/pkg/api"
 	"ifdk/pkg/client"
+	"ifdk/pkg/volume"
 )
 
 type result struct {
@@ -85,6 +96,7 @@ type loadConfig struct {
 	timeout      time.Duration
 	mixed        bool
 	stream       bool
+	preview      bool
 	gzip         bool
 	trace        bool
 	maxQueuedSec float64
@@ -106,6 +118,7 @@ func main() {
 	flag.DurationVar(&lc.timeout, "timeout", 5*time.Minute, "overall deadline")
 	flag.BoolVar(&lc.mixed, "mixed", false, "run the multi-client mixed-priority fairness scenario")
 	flag.BoolVar(&lc.stream, "stream", false, "run the streaming time-to-first-slice scenario")
+	flag.BoolVar(&lc.preview, "preview", false, "run the progressive time-to-first-preview scenario")
 	flag.BoolVar(&lc.gzip, "gzip", false, "negotiate per-part gzip slice encoding in -stream and report bytes saved")
 	flag.BoolVar(&lc.trace, "trace", false, "fetch and print one sampled job's span-tree waterfall after the run")
 	flag.Float64Var(&lc.maxQueuedSec, "max-queued-sec", 0.5, "queued-work cost budget for -mixed (in-process server only)")
@@ -201,6 +214,9 @@ func run(lc loadConfig) error {
 	c := newClient(addr, lc, &retries)
 	if lc.stream {
 		return runStream(ctx, c, lc)
+	}
+	if lc.preview {
+		return runPreview(ctx, c, lc)
 	}
 	mode := "uniform"
 	if lc.mixed {
@@ -460,6 +476,116 @@ func runStream(ctx context.Context, c *client.Client, lc loadConfig) error {
 		return fmt.Errorf("gzip negotiated but saved nothing (%d wire >= %d raw)", str.res.WireBytes, str.res.RawBytes)
 	}
 	fmt.Println("streaming scenario OK")
+	return nil
+}
+
+// runPreview is the progressive coarse-to-fine scenario: one
+// quality=progressive job, its stream consumed through
+// client.StreamProgressive, reporting time-to-first-preview (the coarse
+// tier's first part) against time-to-full-volume. A preview-quality warmup
+// pays dataset staging and the coarse reconstruction up front, so the
+// measured job isolates the latency a viewer actually sees: how long until
+// something renders versus how long until every full-resolution voxel is
+// in hand.
+func runPreview(ctx context.Context, c *client.Client, lc loadConfig) error {
+	nx := lc.nx
+	if nx < 64 {
+		// A higher floor than -stream: the coarse tier is so cheap that the
+		// full-resolution pass must be long enough for the gap to measure.
+		fmt.Printf("raising -nx %d to 64 for a measurable run\n", nx)
+		nx = 64
+	}
+	spec := api.Spec{Phantom: "shepplogan", NX: nx, NP: 4 * nx, R: 2, C: 2,
+		Quality: api.QualityProgressive, Client: "preview"}
+	fmt.Printf("progressive scenario: one %s job nx=%d np=%d on a 2x2 grid, quality=%s\n",
+		spec.Phantom, spec.NX, spec.NP, spec.Quality)
+
+	// Warm with the preview tier itself: it stages the same full-resolution
+	// dataset (content-addressed, shared) and caches the coarse volume
+	// under its own key, without touching the full-resolution cache entry
+	// the progressive job must still compute.
+	warm := spec
+	warm.Quality = api.QualityPreview
+	warmStart := time.Now()
+	if w := driveJob(ctx, c, warm); w.err != nil {
+		return fmt.Errorf("preview warmup: %w", w.err)
+	}
+	fmt.Printf("warmup (staging + coarse reconstruction): %v\n",
+		time.Since(warmStart).Round(time.Millisecond))
+
+	start := time.Now()
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("progressive submit: %w", err)
+	}
+	if v.CacheHit {
+		return fmt.Errorf("progressive scenario: job %s was a cache hit; point -addr at a fresh server", v.ID)
+	}
+
+	var (
+		firstPreview, firstFull time.Duration
+		previewAfterFull        bool
+	)
+	res, err := c.StreamProgressive(ctx, v.ID, client.StreamHooks{
+		OnPreview: func(z, total, factor int) {
+			if firstPreview == 0 {
+				firstPreview = time.Since(start)
+			}
+			if firstFull != 0 {
+				previewAfterFull = true
+			}
+		},
+		OnSlice: func(z, total int) {
+			if firstFull == 0 {
+				firstFull = time.Since(start)
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("progressive stream: %w", err)
+	}
+	ttfv := time.Since(start)
+
+	fmt.Printf("\n=== progressive results (job %s) ===\n", v.ID)
+	fmt.Printf("time-to-first-preview: %v  (factor %d, %d coarse slices)\n",
+		firstPreview.Round(time.Millisecond), res.PreviewFactor, res.PreviewSlices)
+	fmt.Printf("time-to-first-slice:   %v  (full resolution)\n", firstFull.Round(time.Millisecond))
+	fmt.Printf("time-to-full-volume:   %v  (terminal state %s, %d slices, %.1f KiB on the wire)\n",
+		ttfv.Round(time.Millisecond), res.Final.State, res.Slices, float64(res.WireBytes)/1024)
+	if ttfv > 0 {
+		fmt.Printf("speedup:               first preview at %.0f%% of full-volume latency\n",
+			100*firstPreview.Seconds()/ttfv.Seconds())
+	}
+	if lc.trace {
+		printTrace(ctx, c, v.ID)
+	}
+
+	// The /preview endpoint must serve the same coarse volume the stream
+	// carried, bit for bit.
+	pv, pf, err := c.Preview(ctx, v.ID)
+	if err != nil {
+		return fmt.Errorf("GET /preview: %w", err)
+	}
+	diff, err := volume.MaxAbsDiff(pv, res.Preview)
+	if err != nil {
+		return fmt.Errorf("comparing /preview against streamed tier: %w", err)
+	}
+
+	switch {
+	case res.Final.State != api.StateDone:
+		return fmt.Errorf("progressive job ended %s: %s", res.Final.State, res.Final.Error)
+	case res.Preview == nil || res.PreviewSlices == 0 || res.PreviewFactor < 2:
+		return fmt.Errorf("no preview tier streamed (factor %d, %d coarse slices)", res.PreviewFactor, res.PreviewSlices)
+	case previewAfterFull:
+		return errors.New("a preview part arrived after a full-resolution part")
+	case res.Slices != nx:
+		return fmt.Errorf("streamed %d full-resolution slices, want %d", res.Slices, nx)
+	case pf != res.PreviewFactor || diff != 0:
+		return fmt.Errorf("/preview disagrees with streamed tier (factor %d vs %d, max diff %g)", pf, res.PreviewFactor, diff)
+	case firstPreview.Seconds() >= 0.7*ttfv.Seconds():
+		return fmt.Errorf("first preview at %v is not a wide margin over full volume at %v (want < 70%%)", firstPreview, ttfv)
+	}
+	fmt.Println("progressive scenario OK")
 	return nil
 }
 

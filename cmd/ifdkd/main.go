@@ -66,6 +66,8 @@ func main() {
 		"row-kernel implementation: fast (vectorizable), ref (scalar reference escape hatch), auto (= fast)")
 	filterBatch := flag.Duration("filter-batch", 200*time.Microsecond,
 		"coalescing window for cross-job shared filter sweeps (0 disables batching)")
+	previewWorkers := flag.Int("preview-workers", 0,
+		"concurrent workers per preview-tier build (0 = default; previews of progressive jobs run before the full pass)")
 	eventLog := flag.Int("event-log", 0,
 		"retained events per job for /events resume and /stream replay (0 = default 1024)")
 	node := flag.String("node", "",
@@ -102,6 +104,7 @@ func main() {
 		JournalDir:        *journalDir,
 		Logger:            logger,
 		FilterBatchWindow: *filterBatch,
+		PreviewWorkers:    *previewWorkers,
 	}
 	if *aging <= 0 {
 		opt.Aging = -1 // disabled (0 in Options means "default")

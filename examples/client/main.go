@@ -4,9 +4,15 @@
 // automatic reconnect, and reassemble the live multipart slice stream into
 // a full volume, all through the versioned pkg/api contract.
 //
+// With -progressive the job is submitted at quality=progressive: the
+// stream opens with a decimated preview volume (coarse slices tagged
+// X-Preview-Factor) that renders immediately, then refines to the full
+// resolution under the same job ID — the coarse-to-fine serving path.
+//
 //	go run ./examples/client                      # spins up an in-process server
 //	go run ./examples/client -addr http://localhost:8080
 //	go run ./examples/client -gzip -nx 48
+//	go run ./examples/client -progressive -nx 64
 package main
 
 import (
@@ -28,14 +34,15 @@ func main() {
 	phantom := flag.String("phantom", "shepplogan", "phantom to scan: shepplogan | sphere | industrial")
 	nx := flag.Int("nx", 32, "output voxels per side")
 	gzip := flag.Bool("gzip", false, "negotiate per-part gzip slice encoding on the stream")
+	prog := flag.Bool("progressive", false, "request coarse-to-fine delivery: preview tier first, then full resolution")
 	flag.Parse()
-	if err := run(*addr, *phantom, *nx, *gzip); err != nil {
+	if err := run(*addr, *phantom, *nx, *gzip, *prog); err != nil {
 		fmt.Fprintln(os.Stderr, "client example:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, phantom string, nx int, gz bool) error {
+func run(addr, phantom string, nx int, gz, prog bool) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
@@ -67,6 +74,9 @@ func run(addr, phantom string, nx int, gz bool) error {
 	// quota_exhausted, ...) with jittered backoff; hard errors surface as
 	// *api.Error with a stable code.
 	spec := api.Spec{Phantom: phantom, NX: nx, Verify: true, Client: "example"}
+	if prog {
+		spec.Quality = api.QualityProgressive
+	}
 	v, err := c.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
@@ -103,13 +113,23 @@ func run(addr, phantom string, nx int, gz bool) error {
 
 	// 3. Stream the slices live and reassemble the volume. The stream
 	// starts mid-run: early slices arrive while later ones are still being
-	// reconstructed.
+	// reconstructed. For a progressive job the preview tier's coarse slices
+	// arrive first and reassemble into res.Preview; the full-resolution
+	// slices that follow refine it into res.Volume.
 	start := time.Now()
-	var firstSlice time.Duration
-	res, err := c.Stream(ctx, v.ID, func(z, total int) {
-		if firstSlice == 0 {
-			firstSlice = time.Since(start)
-		}
+	var firstSlice, firstPreview time.Duration
+	res, err := c.StreamProgressive(ctx, v.ID, client.StreamHooks{
+		OnPreview: func(z, total, factor int) {
+			if firstPreview == 0 {
+				firstPreview = time.Since(start)
+				fmt.Printf("stream: preview tier arriving (factor %d, %d coarse slices)\n", factor, total)
+			}
+		},
+		OnSlice: func(z, total int) {
+			if firstSlice == 0 {
+				firstSlice = time.Since(start)
+			}
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("stream: %w", err)
@@ -125,6 +145,12 @@ func run(addr, phantom string, nx int, gz bool) error {
 	s := vol.Summarize()
 	fmt.Printf("volume: %dx%dx%d, voxels in [%.4f, %.4f], mean %.4f\n",
 		vol.Nx, vol.Ny, vol.Nz, s.Min, s.Max, s.Mean)
+	if res.Preview != nil {
+		fmt.Printf("preview: %dx%dx%d at factor %d, first coarse slice at %v (%.0f%% of full volume)\n",
+			res.Preview.Nx, res.Preview.Ny, res.Preview.Nz, res.PreviewFactor,
+			firstPreview.Round(time.Millisecond),
+			100*firstPreview.Seconds()/time.Since(start).Seconds())
+	}
 	fmt.Printf("delivery: first slice at %v, full volume at %v (%d slices, %.1f KiB on the wire)\n",
 		firstSlice.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
 		res.Slices, float64(res.WireBytes)/1024)

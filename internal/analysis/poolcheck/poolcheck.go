@@ -122,7 +122,8 @@ func (w *walker) freshCall(call *ast.CallExpr) bool {
 	if fn == nil || (fn.Name() != "NewImage" && fn.Name() != "New") {
 		return false
 	}
-	return analysis.Rel(analysis.PkgPathOf(fn)) == "internal/volume"
+	rel := analysis.Rel(analysis.PkgPathOf(fn))
+	return rel == "pkg/volume" || rel == "internal/volume"
 }
 
 // releaseTarget returns the expression whose buffer a call releases:

@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"testing"
+
+	"math/rand"
+)
+
+// AccRow and BlockMean follow the strict branch of the parity policy (see
+// kernels_test.go): both variants perform the same float32 operations in the
+// same order, so fast and ref must be BIT-identical, NaN/Inf included.
+
+func TestAccRowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range widths {
+		for trial := 0; trial < 20; trial++ {
+			src := randRow(rng, n, trial%3 == 0)
+			accR := randRow(rng, n, trial%5 == 0)
+			accF := append([]float32(nil), accR...)
+			AccRowRef(accR, src)
+			accRowFast(accF, src)
+			for i := range accR {
+				if !eqBits(accR[i], accF[i]) {
+					t.Fatalf("n=%d: acc[%d] ref=%v fast=%v", n, i, accR[i], accF[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockMeanParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range widths {
+		for _, d := range []int{1, 2, 3, 4, 5, 8} {
+			for trial := 0; trial < 10; trial++ {
+				acc := randRow(rng, n*d, trial%3 == 0)
+				scale := float32(1) / float32(d*d)
+				dstR := make([]float32, n)
+				dstF := make([]float32, n)
+				BlockMeanRef(dstR, acc, d, scale)
+				blockMeanFast(dstF, acc, d, scale)
+				for i := range dstR {
+					if !eqBits(dstR[i], dstF[i]) {
+						t.Fatalf("n=%d d=%d: dst[%d] ref=%v fast=%v", n, d, i, dstR[i], dstF[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockMeanRefOrder pins the summation order contract: each block sums
+// left to right. A change in association would silently break the preview
+// tier's bit-exact determinism promise.
+func TestBlockMeanRefOrder(t *testing.T) {
+	// Values chosen so float32 rounding distinguishes (a+b)+c from a+(b+c).
+	acc := []float32{1e8, 1, 1, -1e8, 1, 1}
+	dst := make([]float32, 2)
+	BlockMean(dst, acc, 3, 1)
+	want := make([]float32, 2)
+	for u := range want {
+		s := acc[u*3]
+		s += acc[u*3+1]
+		s += acc[u*3+2]
+		want[u] = s
+	}
+	if !eqBits(dst[0], want[0]) || !eqBits(dst[1], want[1]) {
+		t.Fatalf("block sums not left-to-right: got (%v,%v) want (%v,%v)", dst[0], dst[1], want[0], want[1])
+	}
+}

@@ -333,7 +333,7 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	var mw *multipart.Writer
 	headersSent := false
-	seen := map[int]bool{}
+	seen := map[string]bool{}
 	sendTerminalView := func(v api.View) {
 		terminalSeen = true
 		phdr := textproto.MIMEHeader{}
@@ -422,7 +422,10 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request) {
 // pumpStream copies one backend multipart connection into the relay's
 // writer, skipping slices already forwarded. It reports done once the
 // terminal JSON part has been relayed (with the public job ID restored).
-func (rt *Router) pumpStream(resp *http.Response, id string, seen map[int]bool, mw *multipart.Writer, rc *http.ResponseController) (bool, error) {
+// The dedup key includes the part's preview factor: a progressive stream
+// carries a coarse slice z and a full-resolution slice z as distinct parts,
+// and keying on the bare index would silently drop the refinement.
+func (rt *Router) pumpStream(resp *http.Response, id string, seen map[string]bool, mw *multipart.Writer, rc *http.ResponseController) (bool, error) {
 	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
 	if err != nil || params["boundary"] == "" {
 		return false, fmt.Errorf("backend stream Content-Type %q has no boundary", resp.Header.Get("Content-Type"))
@@ -457,7 +460,8 @@ func (rt *Router) pumpStream(resp *http.Response, id string, seen map[int]bool, 
 		if err != nil {
 			return false, fmt.Errorf("backend slice part without a %s header", api.HeaderSliceZ)
 		}
-		if seen[z] {
+		key := part.Header.Get(api.HeaderPreviewFactor) + "/" + strconv.Itoa(z)
+		if seen[key] {
 			continue // replayed duplicate after a takeover; NextPart discards it
 		}
 		blob, err := io.ReadAll(part)
@@ -471,7 +475,7 @@ func (rt *Router) pumpStream(resp *http.Response, id string, seen map[int]bool, 
 		if _, err := out.Write(blob); err != nil {
 			return true, err
 		}
-		seen[z] = true
+		seen[key] = true
 		if err := rc.Flush(); err != nil {
 			return true, err
 		}

@@ -217,6 +217,9 @@ func New(opt Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxyStream(w, r, "/slice/"+r.PathValue("z"))
 	})
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/preview", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyStream(w, r, "/preview")
+	})
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.trace)
 	rt.mux.HandleFunc("GET /v1/metrics", rt.metrics)
 	rt.mux.Handle("GET /metrics", rt.met.reg.Handler())

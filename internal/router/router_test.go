@@ -17,6 +17,7 @@ import (
 	"ifdk/internal/service"
 	"ifdk/pkg/api"
 	"ifdk/pkg/client"
+	"ifdk/pkg/volume"
 )
 
 // testLogger routes the router's structured log through t.Logf so fleet
@@ -692,5 +693,73 @@ func TestTerminalRouteTTLExpiry(t *testing.T) {
 	got, err := c.Get(ctx, v.ID)
 	if err != nil || got.ID != v.ID || got.State != api.StateDone {
 		t.Fatalf("expired-route job unreachable: %+v, %v", got, err)
+	}
+}
+
+// A progressive stream relayed through the router must keep both tiers: the
+// coarse preview parts (factor-marked, coarse z indices) strictly before
+// the first full-resolution part, and every full slice after — the relay's
+// takeover dedup keys on (preview factor, z), so a full slice must never be
+// swallowed because a preview slice already used its index. The preview
+// artifact endpoint proxies through as well.
+func TestProgressiveStreamThroughRouter(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	ctx := testCtx(t)
+	c := client.New(f.routerTS.URL)
+
+	v, err := c.Submit(ctx, api.Spec{Phantom: "shepplogan", NX: 16, R: 2, C: 2, Quality: api.QualityProgressive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	res, err := c.StreamProgressive(ctx, v.ID, client.StreamHooks{
+		OnSlice: func(int, int) { sawFull = true },
+		OnPreview: func(z, total, factor int) {
+			if sawFull {
+				t.Errorf("preview part z=%d after a full-resolution part", z)
+			}
+			if factor != 2 || total != 8 {
+				t.Errorf("preview part z=%d factor=%d total=%d, want 2/8", z, factor, total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.State != api.StateDone {
+		t.Fatalf("stream ended %s (%s), want done", res.Final.State, res.Final.Error)
+	}
+	if res.PreviewFactor != 2 || res.PreviewSlices != 8 || res.Preview == nil || res.Preview.Nz != 8 {
+		t.Fatalf("preview tier lost in relay: factor=%d slices=%d", res.PreviewFactor, res.PreviewSlices)
+	}
+	// The dedup regression: all 16 full slices must survive the relay even
+	// though preview parts already used indices 0..7.
+	if res.Slices != 16 || res.Volume == nil || res.Volume.Nz != 16 {
+		t.Fatalf("full tier truncated through the router: %d slices", res.Slices)
+	}
+
+	pv, factor, err := c.Preview(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor != 2 || pv.Nz != 8 {
+		t.Fatalf("proxied preview artifact: factor=%d nz=%d, want 2/8", factor, pv.Nz)
+	}
+	if d, err := volume.MaxAbsDiff(pv, res.Preview); err != nil || d != 0 {
+		t.Fatalf("preview artifact differs from streamed tier: maxAbsDiff=%g err=%v", d, err)
+	}
+
+	// Quality-aware routing: preview-quality submissions of the same scan
+	// may land on a different shard (distinct key), but must be deterministic.
+	pk1, err := service.SpecKey(api.Spec{Phantom: "shepplogan", NX: 16, R: 2, C: 2, Quality: api.QualityPreview})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := service.SpecKey(api.Spec{Phantom: "shepplogan", NX: 16, R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk1 == fk {
+		t.Fatal("preview and full specs share a routing key")
 	}
 }

@@ -59,10 +59,14 @@ type Options struct {
 }
 
 // planKey identifies a shared filter plan; identical keys hit the same
-// memoized filter.Cached entry.
+// memoized filter.Cached entry. class partitions otherwise-identical plans
+// into separate groups: the preview tier rides under its own class so a
+// coarse preview round is never coalesced into — and never delays or is
+// delayed by — a full-resolution sweep whose geometry happens to coincide.
 type planKey struct {
-	g   geometry.Params
-	win filter.Window
+	g     geometry.Params
+	win   filter.Window
+	class string
 }
 
 // Pool groups members by filter plan. The zero value is not usable; call
@@ -82,7 +86,15 @@ func New(opt Options) *Pool {
 // dispatcher) on first use. The returned Member is owned by one goroutine:
 // Filter calls must be sequential, and Close releases the seat.
 func (p *Pool) Join(g geometry.Params, win filter.Window) (*Member, error) {
-	key := planKey{g: g, win: win}
+	return p.JoinClass(g, win, "")
+}
+
+// JoinClass is Join within a named coalescing class: members of different
+// classes never share a round even when their filter plans are identical.
+// The empty class is the full-resolution default; the service seats preview
+// sweeps under their own class.
+func (p *Pool) JoinClass(g geometry.Params, win filter.Window, class string) (*Member, error) {
+	key := planKey{g: g, win: win, class: class}
 	p.mu.Lock()
 	grp, ok := p.groups[key]
 	if ok {

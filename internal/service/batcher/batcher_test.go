@@ -248,3 +248,60 @@ func TestBatchedAllocRegression(t *testing.T) {
 		m.Close()
 	}
 }
+
+// Members of different coalescing classes must never share a round, even on
+// an identical geometry and window: a preview's decimated sweep riding a
+// full-resolution round (or vice versa) would couple the interactive tier's
+// latency to batch traffic. Each class fills and flushes on its own.
+func TestJoinClassPartitionsRounds(t *testing.T) {
+	g := testGeom()
+	const perClass = 2
+	p := New(Options{Window: time.Second}) // flush on full rounds only
+	flt, err := filter.Cached(g, filter.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []string{"", "preview/2"}
+	rng := rand.New(rand.NewSource(7))
+	type seat struct {
+		in, want *volume.Image
+		batch    int
+		err      error
+	}
+	seats := make([]seat, len(classes)*perClass)
+	var wg sync.WaitGroup
+	for ci, class := range classes {
+		for k := 0; k < perClass; k++ {
+			i := ci*perClass + k
+			seats[i].in = randProj(rng, g)
+			if seats[i].want, err = flt.Apply(seats[i].in); err != nil {
+				t.Fatal(err)
+			}
+			m, err := p.JoinClass(g, filter.Hann, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(s *seat, m *Member) {
+				defer wg.Done()
+				defer m.Close()
+				s.batch, s.err = m.Filter(context.Background(), s.in)
+			}(&seats[i], m)
+		}
+	}
+	wg.Wait()
+	for i := range seats {
+		if seats[i].err != nil {
+			t.Fatalf("seat %d: %v", i, seats[i].err)
+		}
+		// A full round within the class, never a cross-class merge.
+		if seats[i].batch != perClass {
+			t.Errorf("seat %d: batch %d, want %d (own class only)", i, seats[i].batch, perClass)
+		}
+		for k, v := range seats[i].want.Data {
+			if seats[i].in.Data[k] != v {
+				t.Fatalf("seat %d: filtered pixel %d = %v, want %v", i, k, seats[i].in.Data[k], v)
+			}
+		}
+	}
+}

@@ -18,6 +18,9 @@ import (
 	"ifdk/internal/ct/filter"
 	"ifdk/internal/ct/geometry"
 	"ifdk/internal/ct/phantom"
+	"ifdk/internal/ct/preview"
+	"ifdk/internal/service/progressive"
+	"ifdk/pkg/api"
 )
 
 // Priority orders jobs within the queue; higher priorities pop first,
@@ -83,6 +86,9 @@ func specWithDefaults(s Spec) Spec {
 	if s.Window == "" {
 		s.Window = filter.RamLak.String()
 	}
+	if s.Quality == "" {
+		s.Quality = api.QualityFull
+	}
 	if s.Client == "" {
 		s.Client = "anonymous"
 	}
@@ -125,6 +131,9 @@ func compileSpec(s Spec) (phantom.Phantom, core.Config, error) {
 	if _, err := ParsePriority(s.Priority); err != nil {
 		return phantom.Phantom{}, core.Config{}, err
 	}
+	if _, err := progressive.ParseQuality(s.Quality); err != nil {
+		return phantom.Phantom{}, core.Config{}, fmt.Errorf("service: %w", err)
+	}
 	cfg := core.Config{R: s.R, C: s.C, Geometry: g, Window: win}
 	probe := cfg
 	probe.InputPrefix = "probe" // satisfy Validate; real prefix set at run time
@@ -134,21 +143,70 @@ func compileSpec(s Spec) (phantom.Phantom, core.Config, error) {
 	return ph, cfg, nil
 }
 
+// resolvedSpec is a Spec compiled all the way to its identity: the defaulted
+// spec, the worker-side pieces, the quality tier with its preview plan, and
+// the cache keys. Submit, journal replay and SpecKey all derive identity
+// through this one function, so a crash-replayed or re-routed job lands on
+// byte-identical keys.
+type resolvedSpec struct {
+	spec Spec
+	ph   phantom.Phantom
+	cfg  core.Config // InputPrefix and AssembleVolume set
+	prio Priority
+	qual progressive.Quality
+	plan preview.Plan // Factor ≥ 1; meaningful when qual.WantsPreview()
+
+	// fullKey is the full-resolution result key — byte-identical to the
+	// pre-quality derivation, so existing caches, spills, journals and
+	// rendezvous placements stay valid. prevKey ("" unless the tier builds a
+	// preview) can never alias any fullKey. key is the job's primary result
+	// key: prevKey for preview-quality jobs, fullKey otherwise.
+	fullKey string
+	prevKey string
+	key     string
+}
+
+func resolveSpec(s Spec) (resolvedSpec, error) {
+	ph, cfg, err := compileSpec(s)
+	if err != nil {
+		return resolvedSpec{}, err
+	}
+	spec := specWithDefaults(s)
+	cfg.InputPrefix = datasetPrefix(spec, cfg)
+	cfg.AssembleVolume = true
+	r := resolvedSpec{spec: spec, ph: ph, cfg: cfg, fullKey: CacheKey(cfg)}
+	r.prio, _ = ParsePriority(spec.Priority)           // validated by compileSpec
+	r.qual, _ = progressive.ParseQuality(spec.Quality) // validated by compileSpec
+	r.key = r.fullKey
+	if r.qual.WantsPreview() {
+		plan, err := preview.PlanFor(cfg.Geometry, 0)
+		if err != nil {
+			return resolvedSpec{}, err
+		}
+		r.plan = plan
+		r.prevKey = progressive.PreviewKey(r.fullKey, plan.Factor)
+		if r.qual == progressive.Preview {
+			r.key = r.prevKey
+		}
+	}
+	return r, nil
+}
+
 // SpecKey returns the content cache key a Manager would derive for spec —
 // "which volume from which data". It is the sharding key a front router
 // hashes across backends: two submissions that would be cache-identical on
 // one node must land on the same node, or the fleet-wide hit rate collapses
-// to 1/N. The error mirrors Submit's validation, so a router can reject
-// unroutable specs before touching any backend.
+// to 1/N. The key is quality-aware: a preview-quality spec keys (and
+// therefore routes) on its preview key, so preview traffic spreads off the
+// full-resolution key's shard while repeated previews of one spec still
+// share a backend cache. The error mirrors Submit's validation, so a router
+// can reject unroutable specs before touching any backend.
 func SpecKey(spec Spec) (string, error) {
-	_, cfg, err := compileSpec(spec)
+	r, err := resolveSpec(spec)
 	if err != nil {
 		return "", err
 	}
-	spec = specWithDefaults(spec)
-	cfg.InputPrefix = datasetPrefix(spec, cfg)
-	cfg.AssembleVolume = true
-	return CacheKey(cfg), nil
+	return r.key, nil
 }
 
 func pickPhantom(name string, g geometry.Params) (phantom.Phantom, error) {
@@ -215,6 +273,16 @@ type Job struct {
 	cfg      core.Config // InputPrefix set; OutputPrefix/Progress set per run
 	cacheKey string
 
+	// quality tier (immutable after submit): qual and plan come from
+	// resolveSpec; previewKey is the preview tier's cache key ("" unless the
+	// tier builds one). For preview-quality jobs cacheKey == previewKey.
+	// preview (mu-guarded) is the built preview entry of a progressive job,
+	// shared with the cache.
+	qual       progressive.Quality
+	plan       preview.Plan
+	previewKey string
+	preview    *Entry
+
 	// recovered marks a job rebuilt from the write-ahead journal after a
 	// restart (immutable once the job is visible).
 	recovered bool
@@ -272,6 +340,10 @@ func (j *Job) snapshot() View {
 		TraceID:   j.traceID,
 		Stages:    stagesOf(j.times),
 		Recovered: j.recovered,
+		Quality:   j.qual.String(),
+	}
+	if j.qual.WantsPreview() {
+		v.PreviewFactor = j.plan.Factor
 	}
 	if j.total > 0 {
 		v.Progress = float64(j.done) / float64(j.total)
@@ -296,6 +368,25 @@ func (j *Job) snapshot() View {
 // outPrefix is the job's output namespace on the PFS, where the epilogue
 // writes finished slices mid-run.
 func (j *Job) outPrefix() string { return "jobs/" + j.ID + "/out" }
+
+// resultNz is the z extent of the job's result volume: the coarse grid for
+// preview-quality jobs (whose result IS the preview), the full grid
+// otherwise. The slice and stream handlers index with this, never with the
+// full geometry directly.
+func (j *Job) resultNz() int {
+	if j.qual == progressive.Preview {
+		return j.plan.Coarse.Nz
+	}
+	return j.cfg.Geometry.Nz
+}
+
+// Preview returns the job's built preview entry (nil until the preview tier
+// finished; always nil for full-quality jobs).
+func (j *Job) Preview() *Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.preview
+}
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {

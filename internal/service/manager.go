@@ -21,6 +21,7 @@ import (
 	"ifdk/internal/obs"
 	"ifdk/internal/perfmodel"
 	"ifdk/internal/service/batcher"
+	"ifdk/internal/service/progressive"
 	"ifdk/internal/volume"
 	"ifdk/pkg/api"
 )
@@ -101,11 +102,25 @@ type Options struct {
 	// GET /v1/jobs/{id}/trace (0 = default 256 traces of 512 spans).
 	TraceCap int
 
+	// PreviewWorkers bounds the goroutines a preview build may use
+	// (0 = GOMAXPROCS). Previews are the cheap interactive tier; capping
+	// their parallelism keeps a burst of them from starving the engine
+	// slots full-resolution rounds are running on. See ifdkd's
+	// -preview-workers flag.
+	PreviewWorkers int
+
 	// testOnSlice, when non-nil, runs synchronously on the publishing
 	// row-root goroutine after each slice event, while the job is still
 	// mid-epilogue. Tests block here to observe the service with a slice
 	// published but the job provably still running.
 	testOnSlice func(job string, z int)
+
+	// testOnPreview, when non-nil, runs synchronously on the worker
+	// goroutine after the preview event is published, before a progressive
+	// job's full-resolution pipeline starts. Tests block here to observe
+	// the service with a preview available but zero full-resolution rounds
+	// completed.
+	testOnPreview func(job string, factor int)
 }
 
 func (o Options) withDefaults() Options {
@@ -311,30 +326,26 @@ func (m *Manager) recoverJobs(jobs []recoveredJob) {
 }
 
 func (m *Manager) recoverJob(r *recoveredJob) error {
-	ph, cfg, err := compileSpec(r.Spec)
+	rs, err := resolveSpec(r.Spec)
 	if err != nil {
 		return err
 	}
-	spec := specWithDefaults(r.Spec)
-	prio, err := ParsePriority(spec.Priority)
-	if err != nil {
-		return err
-	}
-	cfg.InputPrefix = datasetPrefix(spec, cfg)
-	cfg.AssembleVolume = true
-	est, err := perfmodel.Estimate(cfg)
+	est, err := m.estimate(rs)
 	if err != nil {
 		return err
 	}
 	j := &Job{
 		ID:          r.ID,
-		Spec:        spec,
-		Priority:    prio,
+		Spec:        rs.spec,
+		Priority:    rs.prio,
 		state:       StateQueued,
 		submitted:   r.Submitted,
-		ph:          ph,
-		cfg:         cfg,
-		cacheKey:    CacheKey(cfg),
+		ph:          rs.ph,
+		cfg:         rs.cfg,
+		cacheKey:    rs.key,
+		qual:        rs.qual,
+		plan:        rs.plan,
+		previewKey:  rs.prevKey,
 		estModelSec: est.RunSec,
 		estCost:     est.RunSec * m.scaleNow(),
 		estBytes:    est.WorkingSetBytes,
@@ -383,7 +394,7 @@ func (m *Manager) recoverJob(r *recoveredJob) error {
 	m.queue.forcePush(j)
 	m.met.recovered.With("requeued").Inc()
 	m.log.Info("job recovered from journal", "job_id", j.ID, "trace_id", j.traceID,
-		"priority", prio.String())
+		"priority", rs.prio.String(), "quality", rs.qual.String())
 	return nil
 }
 
@@ -485,6 +496,22 @@ func (m *Manager) takeToken(client string) bool {
 	return true
 }
 
+// estimate prices a resolved spec for admission, per quality tier: full
+// jobs cost the Sec. 4.2 model estimate as before; preview jobs cost only
+// their decimated problem (the cheap admission class — a preview never
+// charges the queue or byte budget for work it will not do); progressive
+// jobs cost both tiers.
+func (m *Manager) estimate(rs resolvedSpec) (perfmodel.Cost, error) {
+	switch rs.qual {
+	case progressive.Preview:
+		return perfmodel.EstimatePreview(rs.cfg, rs.plan.Coarse, rs.plan.Factor)
+	case progressive.Progressive:
+		return perfmodel.EstimateProgressive(rs.cfg, rs.plan.Coarse, rs.plan.Factor)
+	default:
+		return perfmodel.Estimate(rs.cfg)
+	}
+}
+
 // scaleNow returns the current model→wall-clock calibration factor.
 func (m *Manager) scaleNow() float64 {
 	m.costMu.Lock()
@@ -558,24 +585,17 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 	if tpErr != nil {
 		traceID, parentSpan = obs.NewTraceID(), ""
 	}
-	ph, cfg, err := compileSpec(spec)
+	rs, err := resolveSpec(spec)
 	if err != nil {
 		return View{}, err
 	}
-	spec = specWithDefaults(spec)
-	prio, err := ParsePriority(spec.Priority)
-	if err != nil {
-		return View{}, err
-	}
+	spec = rs.spec
 	if !m.takeToken(spec.Client) {
 		m.met.rejectedQuota.Inc()
 		m.log.Warn("job rejected", "reason", "quota", "client", spec.Client, "trace_id", traceID)
 		return View{}, fmt.Errorf("client %q: %w", spec.Client, ErrQuota)
 	}
-	cfg.InputPrefix = datasetPrefix(spec, cfg)
-	cfg.AssembleVolume = true
-	key := CacheKey(cfg)
-	est, err := perfmodel.Estimate(cfg)
+	est, err := m.estimate(rs)
 	if err != nil {
 		return View{}, err
 	}
@@ -593,12 +613,15 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 	j := &Job{
 		ID:          id,
 		Spec:        spec,
-		Priority:    prio,
+		Priority:    rs.prio,
 		state:       StateQueued,
 		submitted:   time.Now(),
-		ph:          ph,
-		cfg:         cfg,
-		cacheKey:    key,
+		ph:          rs.ph,
+		cfg:         rs.cfg,
+		cacheKey:    rs.key,
+		qual:        rs.qual,
+		plan:        rs.plan,
+		previewKey:  rs.prevKey,
 		estModelSec: est.RunSec,
 		estCost:     est.RunSec * m.scaleNow(),
 		estBytes:    est.WorkingSetBytes,
@@ -607,8 +630,11 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 	}
 	// A cached entry only satisfies a verify request if the run that
 	// produced it was itself verified; otherwise the job runs (and its
-	// verified entry replaces the cached one).
-	if e, ok := m.cache.Get(key); ok && (!spec.Verify || e.Verified) {
+	// verified entry replaces the cached one). The lookup key is quality-
+	// aware (rs.key): a preview job hits only preview entries, and a
+	// progressive job hitting its full-resolution entry completes outright —
+	// the refined volume already exists, so no preview tier is owed.
+	if e, ok := m.cache.Get(rs.key); ok && (!spec.Verify || e.Verified) {
 		j.state = StateDone
 		j.cacheHit = true
 		j.finished = j.submitted
@@ -686,7 +712,8 @@ func (m *Manager) SubmitWithTrace(spec Spec, traceparent string) (View, error) {
 		return View{}, fmt.Errorf("service: job not durable: %w", err)
 	}
 	m.log.Info("job admitted", "job_id", j.ID, "trace_id", traceID,
-		"client", spec.Client, "priority", prio.String(), "est_cost_sec", j.estCost)
+		"client", spec.Client, "priority", rs.prio.String(), "quality", rs.qual.String(),
+		"est_cost_sec", j.estCost)
 	return j.snapshot(), nil
 }
 
@@ -966,6 +993,30 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Entry, error) {
 	j.mu.Lock()
 	j.tStage1, j.tRun0 = now, now
 	j.mu.Unlock()
+	// The preview tier runs first, from the same staged dataset the full
+	// pipeline will read: for preview-quality jobs it IS the job; for
+	// progressive jobs it is streamed (EventPreview, the leading stream
+	// parts) before the first full-resolution round completes.
+	if j.qual.WantsPreview() {
+		pe, err := m.buildPreview(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		if j.qual == progressive.Preview {
+			if j.Spec.Verify {
+				// Verify a copy: pe may be the live cached entry, and the
+				// verification fields must not mutate under concurrent
+				// readers. runJob's Put replaces the cache entry with the
+				// verified copy.
+				ve := *pe
+				pe = &ve
+				if err := m.verifyPreview(ctx, j, pe); err != nil {
+					return nil, fmt.Errorf("verification: %w", err)
+				}
+			}
+			return pe, nil
+		}
+	}
 	cfg := j.cfg
 	cfg.OutputPrefix = j.outPrefix()
 	// Route every rank's filter thread through the shared-sweep batcher when

@@ -40,6 +40,11 @@ type metricsSet struct {
 	journalRecords *obs.CounterVec // appended records by type
 	journalErrors  *obs.Counter    // failed appends / unrecoverable replayed jobs
 	recovered      *obs.CounterVec // jobs recovered at boot, by outcome
+
+	// preview tier (quality = preview | progressive)
+	previewsBuilt *obs.Counter   // preview volumes reconstructed
+	previewHits   *obs.Counter   // preview tiers served from the result cache
+	previewSec    *obs.Histogram // preview-phase latency (build or cache fetch)
 }
 
 // newMetricsSet registers the service's metric families against m's
@@ -81,6 +86,15 @@ func newMetricsSet(m *Manager) *metricsSet {
 	s.recovered = r.CounterVec("ifdk_journal_recovered_total",
 		"Jobs rebuilt from the journal at boot: requeued (re-entered admission) or terminal (view only).",
 		"outcome")
+
+	pv := r.CounterVec("ifdk_previews_total",
+		"Preview tiers completed, by source (built = reconstructed, cache = served from the result cache).",
+		"source")
+	s.previewsBuilt = pv.With("built")
+	s.previewHits = pv.With("cache")
+	s.previewSec = r.Histogram("ifdk_preview_seconds",
+		"Preview-phase latency from worker pickup to the preview event.",
+		[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
 
 	r.GaugeFunc("ifdk_uptime_seconds", "Seconds since the manager started.",
 		func() float64 { return time.Since(m.started).Seconds() })

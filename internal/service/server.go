@@ -19,6 +19,7 @@ import (
 //	GET    /v1/jobs/{id}          one job's status/progress/timings
 //	GET    /v1/jobs/{id}/events   lifecycle as SSE (resumable, Last-Event-ID)
 //	GET    /v1/jobs/{id}/stream   output slices as chunked multipart, live
+//	GET    /v1/jobs/{id}/preview  the coarse preview volume as multipart
 //	GET    /v1/jobs/{id}/slice/{z} axial slice z as PNG, as soon as written
 //	GET    /v1/jobs/{id}/trace    the job's assembled span tree (JSON)
 //	DELETE /v1/jobs/{id}          cancel a live job, or delete a terminal one
@@ -41,6 +42,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/preview", s.preview)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/slice/{z}", s.slice)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.remove)
@@ -127,7 +129,7 @@ func (s *Server) slice(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, api.CodeNotFound, "no such job %q", id)
 		return
 	}
-	nz := j.cfg.Geometry.Nz
+	nz := j.resultNz()
 	z, err := strconv.Atoi(r.PathValue("z"))
 	if err != nil {
 		writeErr(w, api.CodeBadRequest, "slice index must be an integer")

@@ -11,6 +11,7 @@ import (
 
 	"ifdk/internal/compress"
 	"ifdk/internal/hpc/pfs"
+	"ifdk/internal/service/progressive"
 	"ifdk/internal/volume"
 	"ifdk/pkg/api"
 )
@@ -98,6 +99,65 @@ func acceptsGzip(r *http.Request) bool {
 	return false
 }
 
+// preview serves GET /v1/jobs/{id}/preview: the job's coarse preview
+// volume as one multipart/mixed response, one part per coarse z-slice in
+// the PFS image format, each marked with HeaderPreviewFactor. The preview
+// is a point-in-time artifact, not a stream — it either exists in full or
+// not at all — so a job whose preview phase has not completed answers
+// not_yet_written (retryable); a full-quality job has no preview tier and
+// answers bad_request; a failed or cancelled job without one answers
+// terminal, matching /stream.
+func (s *Server) preview(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.m.job(id)
+	if !ok {
+		writeErr(w, api.CodeNotFound, "no such job %q", id)
+		return
+	}
+	if !j.qual.WantsPreview() {
+		writeErr(w, api.CodeBadRequest, "job %s has quality %s: no preview tier", id, j.qual)
+		return
+	}
+	e := s.m.previewFor(j)
+	if e == nil || e.Volume == nil {
+		if st := j.State(); st == StateFailed || st == StateCancelled {
+			writeErr(w, api.CodeTerminal, "job %s is %s: no preview", id, st)
+			return
+		}
+		writeErr(w, api.CodeNotYetWritten, "preview of job %s not built yet (state %s)", id, j.State())
+		return
+	}
+	gzipParts := acceptsGzip(r)
+	mw := multipart.NewWriter(w)
+	defer mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.Header().Set(api.HeaderPreviewFactor, strconv.Itoa(j.plan.Factor))
+	w.WriteHeader(http.StatusOK)
+	for z := 0; z < e.Volume.Nz; z++ {
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Type", api.ContentTypeSlice)
+		hdr.Set(api.HeaderSliceZ, strconv.Itoa(z))
+		hdr.Set(api.HeaderSliceTotal, strconv.Itoa(e.Volume.Nz))
+		hdr.Set(api.HeaderPreviewFactor, strconv.Itoa(j.plan.Factor))
+		blob := volume.ImageToBytes(e.Volume.SliceZ(z))
+		if gzipParts {
+			gz, err := compress.Gzip(blob)
+			if err != nil {
+				return
+			}
+			hdr.Set("Content-Encoding", api.EncodingGzip)
+			blob = gz
+		}
+		part, err := mw.CreatePart(hdr)
+		if err != nil {
+			return
+		}
+		if _, err := part.Write(blob); err != nil {
+			return
+		}
+	}
+}
+
 // stream serves GET /v1/jobs/{id}/stream: the job's output slices as a
 // chunked multipart/mixed body, each part one z-slice in the PFS image
 // format (little-endian W,H header + float32 payload), delivered as its row
@@ -105,6 +165,15 @@ func acceptsGzip(r *http.Request) bool {
 // the already-written slices first (from the PFS mid-run, or from the
 // cached volume once done), then follows the live epilogue. The final part
 // is the job's terminal JSON view.
+//
+// Progressive jobs prepend the coarse tier: as soon as the preview volume
+// exists (EventPreview, or immediately on attach once built), its slices
+// are emitted as parts marked with HeaderPreviewFactor, indexed on the
+// coarse grid — always before the first full-resolution part, so a client
+// has a renderable volume while the full pipeline is still in its first
+// rounds. Preview-quality jobs are served like ordinary jobs whose result
+// happens to be the coarse volume: plain parts, coarse slice total, no
+// preview header.
 //
 // When the request advertises Accept-Encoding: gzip, each slice part is
 // DEFLATE-compressed independently (Content-Encoding: gzip on the part, not
@@ -126,7 +195,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 
-	nz := j.cfg.Geometry.Nz
+	nz := j.resultNz()
 	if st := j.State(); st == StateFailed || st == StateCancelled {
 		writeErr(w, api.CodeTerminal, "job %s is %s: no slice stream", id, st)
 		return
@@ -144,11 +213,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sent := make([]bool, nz)
-	sendBlob := func(z int, blob []byte) error {
-		hdr := textproto.MIMEHeader{}
-		hdr.Set("Content-Type", api.ContentTypeSlice)
-		hdr.Set(api.HeaderSliceZ, strconv.Itoa(z))
-		hdr.Set(api.HeaderSliceTotal, strconv.Itoa(nz))
+	writePart := func(hdr textproto.MIMEHeader, blob []byte) error {
 		if gzipParts {
 			gz, err := compress.Gzip(blob)
 			if err != nil {
@@ -164,8 +229,44 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		if _, err := part.Write(blob); err != nil {
 			return err
 		}
-		sent[z] = true
 		return rc.Flush()
+	}
+	sendBlob := func(z int, blob []byte) error {
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Type", api.ContentTypeSlice)
+		hdr.Set(api.HeaderSliceZ, strconv.Itoa(z))
+		hdr.Set(api.HeaderSliceTotal, strconv.Itoa(nz))
+		sent[z] = true
+		return writePart(hdr, blob)
+	}
+	// sendPreview emits a progressive job's coarse tier — every preview
+	// slice, marked with the decimation factor and indexed on the coarse
+	// grid — as soon as the preview volume is reachable. It is called before
+	// any full-resolution send on every path (attach-time replay and the
+	// EventPreview that precedes all slice events), so preview parts always
+	// lead the stream; once emitted it is a no-op.
+	previewSent := false
+	sendPreview := func() error {
+		if previewSent || j.qual != progressive.Progressive {
+			return nil
+		}
+		e := s.m.previewFor(j)
+		if e == nil || e.Volume == nil {
+			return nil
+		}
+		previewSent = true
+		cnz := e.Volume.Nz
+		for z := 0; z < cnz; z++ {
+			hdr := textproto.MIMEHeader{}
+			hdr.Set("Content-Type", api.ContentTypeSlice)
+			hdr.Set(api.HeaderSliceZ, strconv.Itoa(z))
+			hdr.Set(api.HeaderSliceTotal, strconv.Itoa(cnz))
+			hdr.Set(api.HeaderPreviewFactor, strconv.Itoa(j.plan.Factor))
+			if err := writePart(hdr, volume.ImageToBytes(e.Volume.SliceZ(z))); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	// sendFromPFS streams slice z if it is already durable; absent slices
 	// are simply not ready yet and will arrive with their event.
@@ -211,9 +312,13 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		_ = rc.Flush()
 	}
 
-	// Replay slices already on the PFS (late subscribe to a running job),
-	// then follow the live event stream; slice events arriving for what the
-	// replay already sent are deduplicated by the sent bitmap.
+	// Replay the preview tier first if it already exists, then slices
+	// already on the PFS (late subscribe to a running job), then follow the
+	// live event stream; slice events arriving for what the replay already
+	// sent are deduplicated by the sent bitmap.
+	if err := sendPreview(); err != nil {
+		return
+	}
 	for z := 0; z < nz; z++ {
 		if err := sendFromPFS(z); err != nil {
 			return
@@ -223,6 +328,10 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		batch, ok := sub.Next(r.Context())
 		for _, e := range batch {
 			switch {
+			case e.Type == EventPreview:
+				if err := sendPreview(); err != nil {
+					return
+				}
 			case e.Type == EventSlice:
 				if err := sendFromPFS(e.Z); err != nil {
 					return

@@ -42,6 +42,7 @@ const (
 	EventStarted   = api.EventStarted
 	EventRound     = api.EventRound
 	EventSlice     = api.EventSlice
+	EventPreview   = api.EventPreview
 	EventTrace     = api.EventTrace
 	EventDone      = api.EventDone
 	EventFailed    = api.EventFailed

@@ -41,6 +41,7 @@ type Spec struct {
 	R        int    `json:"r"`        // grid rows (0 → 2)
 	C        int    `json:"c"`        // grid columns (0 → 2)
 	Window   string `json:"window"`   // ramp window name ("" → ram-lak)
+	Quality  string `json:"quality"`  // full | preview | progressive ("" → full; see quality.go)
 	Priority string `json:"priority"` // low | normal | high ("" → normal)
 	Verify   bool   `json:"verify"`   // compare against the serial FDK reference
 	Client   string `json:"client"`   // client id for per-client quotas ("" → "anonymous")
@@ -68,6 +69,12 @@ type View struct {
 	TraceID   string  `json:"trace_id,omitempty"`
 	Stages    Stages  `json:"stages,omitempty"`
 	Recovered bool    `json:"recovered,omitempty"` // rebuilt from the write-ahead journal after a restart
+
+	// Quality is the resolved quality tier ("full" | "preview" |
+	// "progressive"); PreviewFactor is the decimation factor of the preview
+	// tier (0 for full-quality jobs).
+	Quality       string `json:"quality,omitempty"`
+	PreviewFactor int    `json:"preview_factor,omitempty"`
 }
 
 // Stages is the wire form of the pipeline stage timings (seconds, max over

@@ -8,6 +8,7 @@ const (
 	EventStarted   EventType = "started"   // a worker picked the job up
 	EventRound     EventType = "round"     // one AllGather round completed (coalesced)
 	EventSlice     EventType = "slice"     // one output z-slice landed on the PFS
+	EventPreview   EventType = "preview"   // the decimated preview volume is ready and fetchable
 	EventTrace     EventType = "trace"     // the job's trace has been assembled and is fetchable
 	EventDone      EventType = "done"      // terminal: reconstruction finished
 	EventFailed    EventType = "failed"    // terminal: reconstruction errored
@@ -36,6 +37,10 @@ type Event struct {
 	// slice delivery (Type == EventSlice)
 	Z       int `json:"z"`                 // global z index of the finished slice
 	Written int `json:"written,omitempty"` // cumulative slices on the PFS
+
+	// preview availability (Type == EventPreview): the decimation factor of
+	// the finished preview tier; Total carries the coarse slice count.
+	Factor int `json:"factor,omitempty"`
 
 	// terminal / state-carrying events
 	State State  `json:"state,omitempty"`

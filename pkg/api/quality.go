@@ -1,0 +1,29 @@
+package api
+
+// Quality tiers of the v1 Spec's quality knob. The knob selects how the
+// service trades fidelity for time-to-first-voxel, the way an adaptive video
+// CDN trades bitrate for startup latency:
+//
+//   - QualityFull (the default, and what an absent or empty field means):
+//     one full-resolution reconstruction, the pre-quality behaviour. Wire
+//     compatibility: every Spec submitted before the field existed is a
+//     full-quality Spec.
+//   - QualityPreview: reconstruct only a decimated preview volume —
+//     projections downsampled and every angular step-th one kept, on a
+//     coarse voxel grid — in roughly the service's ~100 ms interactive
+//     budget. The job's result IS the coarse volume; it is priced as a
+//     cheap admission class and cached under a preview-specific key that
+//     never aliases a full-resolution entry.
+//   - QualityProgressive: coarse-to-fine serving under one job ID. The
+//     preview tier runs first and is streamed as the leading parts of
+//     GET /v1/jobs/{id}/stream (marked by HeaderPreviewFactor, announced by
+//     EventPreview), then the job refines to full resolution; the final
+//     volume is bit-exact with a QualityFull job of the same Spec and is
+//     cached under the same full-resolution key.
+//
+// Any other value is rejected at admission with the invalid_spec envelope.
+const (
+	QualityFull        = "full"
+	QualityPreview     = "preview"
+	QualityProgressive = "progressive"
+)

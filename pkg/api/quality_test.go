@@ -1,0 +1,75 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The quality field is part of the frozen v1 wire contract: the constant
+// strings, the Spec's JSON shape, and the omit-when-empty behaviour of the
+// View's tier fields are what clients and the fleet router hash and branch
+// on.
+func TestQualityWireContract(t *testing.T) {
+	if QualityFull != "full" || QualityPreview != "preview" || QualityProgressive != "progressive" {
+		t.Fatalf("quality constants changed: %q %q %q", QualityFull, QualityPreview, QualityProgressive)
+	}
+
+	// Spec marshals quality under the documented name.
+	b, err := json.Marshal(Spec{Quality: QualityProgressive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"quality":"progressive"`) {
+		t.Fatalf("Spec JSON = %s, want a quality field", b)
+	}
+
+	// A pre-quality client's spec (no quality key) decodes to the zero
+	// value, which servers must treat as full resolution.
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"phantom":"sphere","nx":16}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quality != "" {
+		t.Fatalf("legacy spec decoded quality %q, want empty (server defaults to full)", s.Quality)
+	}
+}
+
+func TestViewQualityFieldsOmitEmpty(t *testing.T) {
+	// A full-quality view carries no preview factor; old clients see no new
+	// keys for the zero values.
+	b, err := json.Marshal(View{Quality: QualityFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "preview_factor") {
+		t.Fatalf("full view leaks preview_factor: %s", b)
+	}
+	b, err = json.Marshal(View{Quality: QualityProgressive, PreviewFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"quality":"progressive"`) || !strings.Contains(string(b), `"preview_factor":2`) {
+		t.Fatalf("progressive view JSON = %s, want quality and preview_factor", b)
+	}
+}
+
+func TestPreviewEventShape(t *testing.T) {
+	b, err := json.Marshal(Event{Type: EventPreview, Factor: 4, Total: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"preview"`, `"factor":4`, `"total":32`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("preview event JSON = %s, want %s", b, want)
+		}
+	}
+	// Non-preview events never carry the factor key.
+	b, err = json.Marshal(Event{Type: EventSlice, Z: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "factor") {
+		t.Fatalf("slice event leaks factor: %s", b)
+	}
+}

@@ -15,6 +15,13 @@ const (
 	// HeaderStreamEnd is set on the closing JSON part to the job's terminal
 	// State.
 	HeaderStreamEnd = "X-Stream-End"
+	// HeaderPreviewFactor marks a slice part as belonging to the decimated
+	// preview tier of a progressive job and carries its decimation factor.
+	// Preview parts are emitted before any full-resolution part; their
+	// HeaderSliceZ / HeaderSliceTotal indices address the coarse grid
+	// (total = Nz/factor), so consumers must reassemble the two tiers into
+	// separate volumes. Absent on full-resolution parts.
+	HeaderPreviewFactor = "X-Preview-Factor"
 	// EncodingGzip is the per-part Content-Encoding applied to slice
 	// payloads when the request advertised Accept-Encoding: gzip. Parts are
 	// compressed independently so a late-attaching client still decodes

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+
+	"ifdk/internal/compress"
+	"ifdk/pkg/api"
+	"ifdk/pkg/volume"
+)
+
+// Preview fetches GET /v1/jobs/{id}/preview — a preview or progressive
+// job's coarse tier as one multipart response — and reassembles it into a
+// volume, returning the decimation factor alongside. The server answers
+// not_yet_written (retryable *api.Error) while the preview phase is still
+// running; WatchPreview waits for the preview event instead of polling.
+func (c *Client) Preview(ctx context.Context, id string) (*volume.Volume, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/preview", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.gzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		req.Header.Set("Accept-Encoding", "identity")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeError(resp)
+	}
+	factor, err := strconv.Atoi(resp.Header.Get(api.HeaderPreviewFactor))
+	if err != nil || factor < 1 {
+		return nil, 0, fmt.Errorf("client: preview response with bad %s header %q",
+			api.HeaderPreviewFactor, resp.Header.Get(api.HeaderPreviewFactor))
+	}
+	_, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || params["boundary"] == "" {
+		return nil, 0, fmt.Errorf("client: preview Content-Type %q has no boundary", resp.Header.Get("Content-Type"))
+	}
+
+	var vol *volume.Volume
+	var seen []bool
+	got := 0
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: preview of %s: %w", id, err)
+		}
+		blob, err := io.ReadAll(part)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: reading preview part: %w", err)
+		}
+		if part.Header.Get("Content-Encoding") == api.EncodingGzip {
+			if blob, err = compress.Gunzip(blob); err != nil {
+				return nil, 0, fmt.Errorf("client: preview part: %w", err)
+			}
+		}
+		z, err := strconv.Atoi(part.Header.Get(api.HeaderSliceZ))
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: preview part without a %s header", api.HeaderSliceZ)
+		}
+		total, err := strconv.Atoi(part.Header.Get(api.HeaderSliceTotal))
+		if err != nil || total <= 0 {
+			return nil, 0, fmt.Errorf("client: preview part without a %s header", api.HeaderSliceTotal)
+		}
+		img, err := volume.ImageFromBytes(blob)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: preview slice %d payload: %w", z, err)
+		}
+		if vol == nil {
+			vol = volume.New(img.W, img.H, total, volume.IMajor)
+			seen = make([]bool, total)
+		}
+		if z < 0 || z >= len(seen) {
+			return nil, 0, fmt.Errorf("client: preview slice index %d out of range [0,%d)", z, len(seen))
+		}
+		if seen[z] {
+			return nil, 0, fmt.Errorf("client: preview slice %d delivered twice", z)
+		}
+		seen[z] = true
+		if err := vol.SetSliceZ(z, img); err != nil {
+			return nil, 0, err
+		}
+		got++
+	}
+	if vol == nil {
+		return nil, 0, fmt.Errorf("client: preview of %s carried no slices", id)
+	}
+	if got != vol.Nz {
+		return nil, 0, fmt.Errorf("client: preview of %s truncated: %d/%d slices", id, got, vol.Nz)
+	}
+	return vol, factor, nil
+}
+
+// errPreviewReady aborts the event watch once the preview event arrives.
+var errPreviewReady = errors.New("preview ready")
+
+// WatchPreview blocks until the job's preview tier exists — following the
+// event stream for the preview event rather than polling — then fetches and
+// returns it with its decimation factor. Event replay makes it safe to call
+// at any point in the job's life, including after completion. A job that
+// reaches a terminal state without ever announcing a preview (quality
+// "full", or a failure before the preview phase) returns an error.
+func (c *Client) WatchPreview(ctx context.Context, id string) (*volume.Volume, int, error) {
+	state, err := c.Watch(ctx, id, func(e api.Event) error {
+		if e.Type == api.EventPreview {
+			return errPreviewReady
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, errPreviewReady):
+		return c.Preview(ctx, id)
+	case err != nil:
+		return nil, 0, err
+	default:
+		return nil, 0, fmt.Errorf("client: job %s reached %s without a preview event", id, state)
+	}
+}

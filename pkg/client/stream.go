@@ -11,8 +11,8 @@ import (
 	"strconv"
 
 	"ifdk/internal/compress"
-	"ifdk/internal/volume"
 	"ifdk/pkg/api"
+	"ifdk/pkg/volume"
 )
 
 // StreamResult is the outcome of consuming one job's slice stream to its
@@ -26,6 +26,24 @@ type StreamResult struct {
 	// decoded slice bytes. Their ratio is the stream's compression saving.
 	WireBytes int64
 	RawBytes  int64
+
+	// Progressive jobs lead the stream with their coarse tier (parts marked
+	// X-Preview-Factor, indexed on the coarse grid). It reassembles here,
+	// separate from Volume — previews refine, they never overwrite.
+	Preview       *volume.Volume
+	PreviewFactor int // decimation factor of the preview parts (0: none seen)
+	PreviewSlices int // preview parts received (== Preview.Nz when complete)
+}
+
+// StreamHooks are the per-part callbacks of StreamProgressive. Both run
+// after the part is decoded; either may be nil.
+type StreamHooks struct {
+	// OnSlice fires per full-resolution slice part (z on the full grid).
+	OnSlice func(z, total int)
+	// OnPreview fires per coarse preview part (z on the coarse grid,
+	// total the coarse slice count) — the hook for time-to-first-preview
+	// measurements and early rendering.
+	OnPreview func(z, total, factor int)
 }
 
 // Stream consumes GET /v1/jobs/{id}/stream — live slices mid-run, replayed
@@ -36,8 +54,19 @@ type StreamResult struct {
 // count was short. Per-part gzip (negotiated via WithGzip) is decoded
 // transparently. onSlice, when non-nil, runs after each slice part is
 // decoded (z is the global slice index) — the hook for time-to-first-slice
-// measurements and progressive rendering.
+// measurements and progressive rendering. Preview parts of a progressive
+// job are reassembled into StreamResult.Preview; to observe them as they
+// arrive, use StreamProgressive.
 func (c *Client) Stream(ctx context.Context, id string, onSlice func(z, total int)) (*StreamResult, error) {
+	return c.StreamProgressive(ctx, id, StreamHooks{OnSlice: onSlice})
+}
+
+// StreamProgressive is Stream with per-tier callbacks: OnPreview fires for
+// each coarse part of a progressive job's leading tier, OnSlice for each
+// full-resolution part. The server guarantees every preview part precedes
+// the first full-resolution part, so OnPreview marks time-to-first-volume
+// long before the stream completes.
+func (c *Client) StreamProgressive(ctx context.Context, id string, hooks StreamHooks) (*StreamResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return nil, err
@@ -64,7 +93,7 @@ func (c *Client) Stream(ctx context.Context, id string, onSlice func(z, total in
 	}
 
 	res := &StreamResult{}
-	var seen []bool
+	var seen, seenPrev []bool
 	mr := multipart.NewReader(resp.Body, params["boundary"])
 	for {
 		part, err := mr.NextPart()
@@ -100,6 +129,32 @@ func (c *Client) Stream(ctx context.Context, id string, onSlice func(z, total in
 		if err != nil {
 			return nil, fmt.Errorf("client: slice %d payload: %w", z, err)
 		}
+		if pf := part.Header.Get(api.HeaderPreviewFactor); pf != "" {
+			factor, err := strconv.Atoi(pf)
+			if err != nil || factor < 1 {
+				return nil, fmt.Errorf("client: preview part with bad %s header %q", api.HeaderPreviewFactor, pf)
+			}
+			if res.Preview == nil {
+				res.Preview = volume.New(img.W, img.H, total, volume.IMajor)
+				res.PreviewFactor = factor
+				seenPrev = make([]bool, total)
+			}
+			if z < 0 || z >= len(seenPrev) {
+				return nil, fmt.Errorf("client: preview slice index %d out of range [0,%d)", z, len(seenPrev))
+			}
+			if seenPrev[z] {
+				return nil, fmt.Errorf("client: preview slice %d delivered twice", z)
+			}
+			seenPrev[z] = true
+			if err := res.Preview.SetSliceZ(z, img); err != nil {
+				return nil, err
+			}
+			res.PreviewSlices++
+			if hooks.OnPreview != nil {
+				hooks.OnPreview(z, total, factor)
+			}
+			continue
+		}
 		if res.Volume == nil {
 			res.Volume = volume.New(img.W, img.H, total, volume.IMajor)
 			seen = make([]bool, total)
@@ -115,8 +170,8 @@ func (c *Client) Stream(ctx context.Context, id string, onSlice func(z, total in
 			return nil, err
 		}
 		res.Slices++
-		if onSlice != nil {
-			onSlice(z, total)
+		if hooks.OnSlice != nil {
+			hooks.OnSlice(z, total)
 		}
 	}
 
